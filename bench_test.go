@@ -1,0 +1,191 @@
+// Package repro's benchmark harness: one testing.B benchmark per table
+// and figure in the paper's evaluation, plus the DESIGN.md ablations.
+// Each benchmark runs the corresponding experiment harness on a reduced
+// benchmark subset and window (so `go test -bench=.` completes on a
+// laptop) and reports the figure's headline quantities as custom
+// metrics. For full-suite, full-window numbers use:
+//
+//	go run ./cmd/skiaexp -exp all
+package repro
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchOpts returns reduced-size options sized for iteration under
+// `go test -bench`.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Warmup:  200_000,
+		Measure: 600_000,
+		// A representative spread: two high-gain call/return-heavy
+		// OLTP workloads, one cond-dominated (low-gain), one small.
+		Benchmarks: []string{"voter", "sibench", "kafka", "finagle-chirper"},
+	}
+}
+
+// parsePct extracts a percentage cell like "+5.64%" into a float.
+func parsePct(s string) float64 {
+	s = strings.TrimSuffix(strings.TrimSpace(s), "%")
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+// lastRowCell fetches a cell from the rendered table's final data row.
+func lastRowCell(rep *experiments.Report, col int) string {
+	lines := strings.Split(strings.TrimRight(rep.Table.String(), "\n"), "\n")
+	fields := strings.Fields(lines[len(lines)-1])
+	if col < len(fields) {
+		return fields[col]
+	}
+	return ""
+}
+
+func runOnce(b *testing.B, f func(experiments.Options) (*experiments.Report, error)) *experiments.Report {
+	b.Helper()
+	var rep *experiments.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = f(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return rep
+}
+
+// BenchmarkTable1Config renders the processor configuration table.
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1() == nil {
+			b.Fatal("no report")
+		}
+	}
+}
+
+// BenchmarkTable2Benchmarks renders the benchmark registry table.
+func BenchmarkTable2Benchmarks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig01BTBMissVsL1IHit regenerates Figure 1: BTB-miss MPKI and
+// the L1-I-resident fraction across BTB sizes.
+func BenchmarkFig01BTBMissVsL1IHit(b *testing.B) {
+	rep := runOnce(b, func(o experiments.Options) (*experiments.Report, error) {
+		return experiments.Fig1(o, []int{2048, 8192})
+	})
+	// Final row is the 8K size; column 3 is the resident fraction.
+	b.ReportMetric(parsePct(lastRowCell(rep, 3)), "l1i-hit-%@8K")
+}
+
+// BenchmarkFig03SpeedupVsBTBSize regenerates Figure 3 at two BTB sizes.
+func BenchmarkFig03SpeedupVsBTBSize(b *testing.B) {
+	rep := runOnce(b, func(o experiments.Options) (*experiments.Report, error) {
+		return experiments.Fig3(o, []int{4096, 8192})
+	})
+	b.ReportMetric(parsePct(lastRowCell(rep, 3)), "skia-speedup-%@8K")
+}
+
+// BenchmarkFig06MissByType regenerates Figure 6: BTB misses by branch
+// type per benchmark.
+func BenchmarkFig06MissByType(b *testing.B) {
+	runOnce(b, experiments.Fig6)
+}
+
+// BenchmarkFig13L1IValidation regenerates Figure 13: simulated L1-I
+// MPKI against the recorded real-system targets.
+func BenchmarkFig13L1IValidation(b *testing.B) {
+	runOnce(b, experiments.Fig13)
+}
+
+// BenchmarkFig14IPCGain regenerates Figure 14: head-only, tail-only and
+// combined IPC gains with the geomean row.
+func BenchmarkFig14IPCGain(b *testing.B) {
+	rep := runOnce(b, experiments.Fig14)
+	b.ReportMetric(parsePct(lastRowCell(rep, 1)), "head-%")
+	b.ReportMetric(parsePct(lastRowCell(rep, 2)), "tail-%")
+	b.ReportMetric(parsePct(lastRowCell(rep, 3)), "both-%")
+}
+
+// BenchmarkFig15MissResidency regenerates Figure 15: per-benchmark BTB
+// misses split by L1-I residency.
+func BenchmarkFig15MissResidency(b *testing.B) {
+	runOnce(b, experiments.Fig15)
+}
+
+// BenchmarkFig16MissMPKI regenerates Figure 16: miss MPKI for baseline,
+// equal-state BTB, and Skia.
+func BenchmarkFig16MissMPKI(b *testing.B) {
+	runOnce(b, experiments.Fig16)
+}
+
+// BenchmarkFig17SBBSensitivity regenerates Figure 17: the U/R split and
+// total-size sweeps.
+func BenchmarkFig17SBBSensitivity(b *testing.B) {
+	runOnce(b, experiments.Fig17)
+}
+
+// BenchmarkFig18DecoderIdle regenerates Figure 18: decoder idle-cycle
+// reduction.
+func BenchmarkFig18DecoderIdle(b *testing.B) {
+	runOnce(b, experiments.Fig18)
+}
+
+// BenchmarkBoltComparison regenerates Section 6.1.4: pre-BOLT vs bolted
+// verilator.
+func BenchmarkBoltComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchOpts()
+		o.Benchmarks = nil // Bolt picks its own variants
+		if _, err := experiments.Bolt(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationIndexPolicy sweeps First/Zero/Merge head-decode
+// start policies (DESIGN.md ablation 2).
+func BenchmarkAblationIndexPolicy(b *testing.B) {
+	runOnce(b, experiments.AblationIndexPolicy)
+}
+
+// BenchmarkAblationPathCap sweeps the head decoder's valid-path cap
+// (DESIGN.md ablation 3).
+func BenchmarkAblationPathCap(b *testing.B) {
+	runOnce(b, func(o experiments.Options) (*experiments.Report, error) {
+		return experiments.AblationPathCap(o, []int{1, 6, 12})
+	})
+}
+
+// BenchmarkAblationRetiredBit compares retired-first SBB eviction
+// against plain LRU (DESIGN.md ablation 4).
+func BenchmarkAblationRetiredBit(b *testing.B) {
+	runOnce(b, experiments.AblationReplacement)
+}
+
+// BenchmarkAblationInsertIntoBTB compares the parallel SBB against
+// inserting shadow branches straight into the BTB (DESIGN.md
+// ablation 6).
+func BenchmarkAblationInsertIntoBTB(b *testing.B) {
+	runOnce(b, experiments.AblationInsertIntoBTB)
+}
+
+// BenchmarkAblationWrongPath quantifies wrong-path fetch volume and its
+// cost (DESIGN.md ablation 1).
+func BenchmarkAblationWrongPath(b *testing.B) {
+	runOnce(b, experiments.AblationWrongPath)
+}
+
+// BenchmarkExtensionShadowConds evaluates the beyond-paper extension of
+// storing shadow conditionals in the U-SBB.
+func BenchmarkExtensionShadowConds(b *testing.B) {
+	runOnce(b, experiments.ExtensionShadowConds)
+}

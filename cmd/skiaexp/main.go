@@ -1,0 +1,120 @@
+// Command skiaexp regenerates the paper's evaluation artifacts: every
+// figure and table from "Exposing Shadow Branches" (ASPLOS 2025), plus
+// the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	skiaexp -list
+//	skiaexp -exp fig14
+//	skiaexp -exp all -measure 3000000
+//	skiaexp -exp fig3 -benchmarks voter,tpcc,kafka -warmup 500000
+//
+// Absolute numbers will not match the paper's gem5/Alder Lake testbed;
+// the shapes (who wins, by roughly what factor, where crossovers fall)
+// are the reproduction target. See EXPERIMENTS.md for the recorded
+// comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type expFn func(experiments.Options) (*experiments.Report, error)
+
+func catalog() map[string]expFn {
+	return map[string]expFn{
+		"fig1":  func(o experiments.Options) (*experiments.Report, error) { return experiments.Fig1(o, nil) },
+		"fig3":  func(o experiments.Options) (*experiments.Report, error) { return experiments.Fig3(o, nil) },
+		"fig6":  experiments.Fig6,
+		"fig13": experiments.Fig13,
+		"fig14": experiments.Fig14,
+		"fig15": experiments.Fig15,
+		"fig16": experiments.Fig16,
+		"fig17": experiments.Fig17,
+		"fig18": experiments.Fig18,
+		"bolt":  experiments.Bolt,
+		"table1": func(experiments.Options) (*experiments.Report, error) {
+			return experiments.Table1(), nil
+		},
+		"table2": func(experiments.Options) (*experiments.Report, error) {
+			return experiments.Table2()
+		},
+		"ablation-index": experiments.AblationIndexPolicy,
+		"ablation-pathcap": func(o experiments.Options) (*experiments.Report, error) {
+			return experiments.AblationPathCap(o, nil)
+		},
+		"ablation-replacement": experiments.AblationReplacement,
+		"ablation-sbdtobtb":    experiments.AblationInsertIntoBTB,
+		"ablation-wrongpath":   experiments.AblationWrongPath,
+		"ext-conds":            experiments.ExtensionShadowConds,
+	}
+}
+
+// order lists experiments in presentation order for -exp all.
+var order = []string{
+	"table1", "table2",
+	"fig1", "fig3", "fig6", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+	"bolt",
+	"ablation-index", "ablation-pathcap", "ablation-replacement",
+	"ablation-sbdtobtb", "ablation-wrongpath",
+	"ext-conds",
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		warmup  = flag.Uint64("warmup", 0, "warmup instructions per run (0 = default)")
+		measure = flag.Uint64("measure", 0, "measured instructions per run (0 = default)")
+		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: full suite)")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	cat := catalog()
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		names := make([]string, 0, len(cat))
+		for n := range cat {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println("  " + n)
+		}
+		fmt.Println("  all")
+		return
+	}
+
+	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Workers: *workers}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = order
+	}
+	for _, id := range ids {
+		fn, ok := cat[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "skiaexp: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		rep, err := fn(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skiaexp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		fmt.Printf("(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,102 @@
+// Command skiasim runs a single benchmark on the simulated core and
+// prints the full statistics breakdown: IPC, BTB/SBB behaviour, L1-I
+// pressure, re-steer counts, and predictor accuracy.
+//
+// Usage:
+//
+//	skiasim -bench voter                # paper baseline (no Skia)
+//	skiasim -bench voter -skia          # baseline + Skia
+//	skiasim -bench voter -skia -head=false   # tail-only shadow decode
+//	skiasim -bench dotty -btb 16384 -measure 10000000
+//	skiasim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "voter", "benchmark name (see -list)")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+		skia    = flag.Bool("skia", false, "enable the Shadow Branch Decoder + SBB")
+		head    = flag.Bool("head", true, "enable Head shadow decoding (with -skia)")
+		tail    = flag.Bool("tail", true, "enable Tail shadow decoding (with -skia)")
+		btbSz   = flag.Int("btb", 8192, "BTB entries")
+		inf     = flag.Bool("infbtb", false, "infinite BTB (upper bound)")
+		warmup  = flag.Uint64("warmup", sim.DefaultWarmup, "warmup instructions")
+		measure = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks (paper Table 2):")
+		for _, n := range workload.Names() {
+			p, _ := workload.ByName(n)
+			fmt.Printf("  %-18s %s\n", n, p.Suite)
+		}
+		return
+	}
+
+	cfg := cpu.DefaultConfig()
+	if *skia {
+		cfg = cpu.SkiaConfig()
+		cfg.Frontend.SBD.Head = *head
+		cfg.Frontend.SBD.Tail = *tail
+	}
+	cfg.Frontend.BTB = sim.BTBWithEntries(*btbSz)
+	cfg.Frontend.BTB.Infinite = *inf
+
+	r := sim.NewRunner()
+	res, err := r.Run(sim.RunSpec{
+		Benchmark: *bench, Config: cfg,
+		Warmup: *warmup, Measure: *measure, Label: "run",
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skiasim:", err)
+		os.Exit(1)
+	}
+
+	fe := res.FE
+	tb := stats.NewTable("metric", "value")
+	row := func(k string, format string, args ...any) {
+		tb.AddRow(k, fmt.Sprintf(format, args...))
+	}
+	row("benchmark", "%s", *bench)
+	row("instructions", "%d", res.Instructions)
+	row("cycles", "%d", res.Cycles)
+	row("IPC", "%.4f", res.IPC)
+	row("L1-I MPKI (prefetch fills)", "%.2f", res.L1IMPKI)
+	row("L1-I pollution evicted", "%d", res.L1I.PollutionEvicted)
+	row("BTB miss MPKI", "%.3f", res.BTBMissMPKI)
+	row("BTB miss w/ L1-I hit", "%.1f%%", res.BTBMissL1IHitFrac*100)
+	row("BTB misses by type (c/u/ca/r/i)", "%d/%d/%d/%d/%d",
+		fe.BTBMissCond, fe.BTBMissUncond, fe.BTBMissCall, fe.BTBMissReturn, fe.BTBMissIndirect)
+	row("decode re-steers", "%d", fe.DecodeResteers)
+	row("execute re-steers", "%d", fe.ExecResteers)
+	row("cond mispredict MPKI", "%.2f", res.CondMPKI)
+	row("decoder idle cycles", "%.1f%%", res.DecodeIdleFrac*100)
+	row("wrong-path FTQ blocks", "%d", fe.WrongPathBlocks)
+	if *skia {
+		row("effective miss MPKI (after SBB)", "%.3f", res.EffectiveMissMPKI)
+		row("SBB covered (U / R)", "%d / %d", fe.SBBCoveredU, fe.SBBCoveredR)
+		row("SBD inserts", "%d", fe.SBDInserts)
+		bogus := 0.0
+		if fe.SBDInserts > 0 {
+			bogus = float64(fe.SBDBogusInserts) / float64(fe.SBDInserts)
+		}
+		row("SBD bogus insert rate", "%.5f%%", bogus*100)
+		row("bogus SBB entries used", "%d", fe.BogusSBBUsed)
+		row("head regions (decoded/discarded)", "%d/%d",
+			res.SBD.HeadRegions, res.SBD.HeadDiscarded)
+		row("tail regions", "%d", res.SBD.TailRegions)
+	}
+	fmt.Print(tb)
+}

@@ -1,0 +1,114 @@
+// Command vlxdump inspects generated VLX workloads: it disassembles
+// cache lines, shows function layout (the hot/cold interleaving that
+// creates shadow branches), and replays the Shadow Branch Decoder on a
+// chosen line so the Index Computation / Path Validation phases can be
+// studied byte by byte.
+//
+// Usage:
+//
+//	vlxdump -bench voter -layout | head -40
+//	vlxdump -bench voter -line 0x400440
+//	vlxdump -bench voter -line 0x400440 -entry 24   # head decode at offset 24
+//	vlxdump -bench voter -line 0x400440 -exit 12    # tail decode from offset 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "voter", "benchmark name")
+		layout = flag.Bool("layout", false, "print the function layout")
+		line   = flag.Uint64("line", 0, "cache line address to inspect")
+		entry  = flag.Int("entry", -1, "run Head shadow decode with this entry offset")
+		exit   = flag.Int("exit", -1, "run Tail shadow decode from this offset")
+		stat   = flag.Bool("stats", false, "print workload statistics")
+	)
+	flag.Parse()
+
+	r := sim.NewRunner()
+	w, err := r.Workload(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vlxdump:", err)
+		os.Exit(1)
+	}
+
+	if *stat || (!*layout && *line == 0) {
+		fmt.Printf("benchmark:       %s (%s)\n", w.Profile.Name, w.Profile.Suite)
+		fmt.Printf("image:           %d bytes at %#x\n", len(w.Prog.Code), w.Prog.Base)
+		fmt.Printf("functions:       %d\n", len(w.Prog.Funcs))
+		fmt.Printf("static insts:    %d\n", w.NumStaticInsts())
+		fmt.Printf("static branches: %d\n", w.StaticBranchCount())
+		fmt.Printf("entry:           %#x\n", w.Prog.Entry)
+		if !*layout && *line == 0 {
+			fmt.Println("\nuse -layout or -line 0x<addr> to inspect code")
+		}
+	}
+
+	if *layout {
+		for _, f := range w.Prog.Funcs {
+			kind := "cold"
+			if f.Hot {
+				kind = "HOT "
+			}
+			fmt.Printf("%#08x %5dB %s %s\n", f.Addr, f.Size, kind, f.Name)
+		}
+	}
+
+	if *line != 0 {
+		la := program.LineAddr(*line)
+		bytes := w.Prog.Line(la)
+		if bytes == nil {
+			fmt.Fprintf(os.Stderr, "vlxdump: line %#x outside image\n", la)
+			os.Exit(1)
+		}
+		fmt.Printf("\nline %#x:\n", la)
+		// Disassemble on the canonical stream where boundaries exist.
+		for off := 0; off < program.LineSize; {
+			pc := la + uint64(off)
+			in, ok := w.InstAt(pc)
+			if !ok {
+				fmt.Printf("  +%02d  %02x        (mid-instruction)\n", off, bytes[off])
+				off++
+				continue
+			}
+			mark := " "
+			if in.Class.IsBranch() {
+				mark = "*"
+			}
+			end := off + int(in.Len)
+			if end > program.LineSize {
+				end = program.LineSize
+			}
+			fmt.Printf("  +%02d %s % -24x %s\n", off, mark, bytes[off:end], isa.Disassemble(in))
+			off += int(in.Len)
+		}
+
+		sbd := core.NewSBD(core.DefaultSBDConfig())
+		if *entry >= 0 {
+			found := sbd.DecodeHead(bytes, la, *entry, nil)
+			fmt.Printf("\nhead decode (entry offset %d): %d shadow branches\n", *entry, len(found))
+			for _, sb := range found {
+				fmt.Printf("  %#x %-14s target %#x\n", sb.PC, sb.Class, sb.Target)
+			}
+			s := sbd.Stats()
+			fmt.Printf("  regions=%d discarded=%d novalid=%d\n",
+				s.HeadRegions, s.HeadDiscarded, s.HeadNoValidPath)
+		}
+		if *exit >= 0 {
+			found := sbd.DecodeTail(bytes, la, *exit, nil)
+			fmt.Printf("\ntail decode (from offset %d): %d shadow branches\n", *exit, len(found))
+			for _, sb := range found {
+				fmt.Printf("  %#x %-14s target %#x\n", sb.PC, sb.Class, sb.Target)
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: generate one of the paper's benchmark models, simulate
+// the baseline FDIP front-end and the same front-end with Skia, and
+// print the headline comparison (paper Section 6.1).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	runner := sim.NewRunner()
+	const bench = "voter" // one of the paper's biggest gainers
+
+	run := func(label string, cfg cpu.Config) sim.Result {
+		res, err := runner.Run(sim.RunSpec{
+			Benchmark: bench,
+			Config:    cfg,
+			Warmup:    500_000,
+			Measure:   2_000_000,
+			Label:     label,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Printf("simulating %q: baseline 8K-entry BTB, then + 12.25KB SBB (Skia)...\n\n", bench)
+	base := run("baseline", cpu.DefaultConfig())
+	skia := run("skia", cpu.SkiaConfig())
+
+	fmt.Printf("baseline:  IPC %.3f   BTB miss MPKI %.2f   decode re-steers %d\n",
+		base.IPC, base.BTBMissMPKI, base.FE.DecodeResteers)
+	fmt.Printf("skia:      IPC %.3f   effective MPKI %.2f   decode re-steers %d\n",
+		skia.IPC, skia.EffectiveMissMPKI, skia.FE.DecodeResteers)
+	fmt.Printf("\nspeedup: %s (SBB covered %d BTB misses: %d jumps/calls, %d returns)\n",
+		stats.Percent(stats.Speedup(skia.IPC, base.IPC)),
+		skia.FE.SBBCoveredTotal(), skia.FE.SBBCoveredU, skia.FE.SBBCoveredR)
+	fmt.Printf("of the baseline's BTB misses, %.0f%% were on L1-I-resident lines —\n",
+		base.BTBMissL1IHitFrac*100)
+	fmt.Println("the shadow-branch opportunity the paper is built on (its Figure 1: ~75%).")
+}

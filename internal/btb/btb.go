@@ -1,0 +1,247 @@
+// Package btb models the Branch Target Buffer: the set-associative
+// structure the Branch Prediction Unit consults to discover that a fetch
+// region contains a branch and where that branch goes. Its capacity is
+// the central bottleneck the paper attacks — contemporary commercial
+// workloads overflow even an 8K-entry BTB, and the overflow victims are
+// exactly the "cold" branches Skia recovers from cache-line shadows.
+//
+// Entry layout follows the paper's Figure 12: a 10-bit partial tag, a
+// valid bit, per-way LRU state, 2 bits of branch type, and a full
+// 64-bit target. Partial tags make aliasing possible (a hit that returns
+// the wrong branch's target), which the front-end handles as a decode
+// resteer, exactly like real hardware.
+package btb
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Entry is one BTB entry's payload.
+type Entry struct {
+	// Target is the predicted branch target.
+	Target uint64
+	// FallThrough is the address of the instruction after the branch
+	// (hardware stores this as a small end-offset; the IAG needs it to
+	// continue past not-taken conditionals and to push return addresses
+	// for calls).
+	FallThrough uint64
+	// Class is the branch type (2 bits in hardware).
+	Class isa.Class
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+	e     Entry
+}
+
+// Config sizes a BTB.
+type Config struct {
+	// Entries is the total entry count (power of two).
+	Entries int
+	// Ways is the associativity.
+	Ways int
+	// TagBits is the partial tag width (paper: 10).
+	TagBits int
+	// Infinite disables capacity limits: every inserted branch is
+	// retained with full-precision tags (the paper's "Infinite, Fully
+	// Associative BTB" upper bound in Figure 3).
+	Infinite bool
+}
+
+// DefaultConfig is the paper's nominal 8K-entry, 4-way BTB.
+func DefaultConfig() Config {
+	return Config{Entries: 8192, Ways: 4, TagBits: 10}
+}
+
+// StorageBits returns the hardware budget of the configured BTB in bits,
+// using the paper's per-entry cost: tag + valid + LRU + 2-bit type +
+// 64-bit target. An 8K-entry BTB costs 78KB, matching the paper.
+func (c Config) StorageBits() int {
+	if c.Infinite {
+		return 0
+	}
+	perEntry := c.TagBits + 1 + 1 + 2 + 64
+	return c.Entries * perEntry
+}
+
+// Stats counts BTB events.
+type Stats struct {
+	Lookups   uint64
+	Hits      uint64
+	Misses    uint64
+	Inserts   uint64
+	Updates   uint64 // insert found the entry present; target refreshed
+	Evictions uint64
+}
+
+// BTB is the branch target buffer. Not safe for concurrent use.
+type BTB struct {
+	cfg     Config
+	sets    [][]way
+	setMask uint64
+	tagMask uint64
+	tick    uint64
+	inf     map[uint64]Entry
+	stats   Stats
+}
+
+// New builds a BTB from cfg.
+func New(cfg Config) (*BTB, error) {
+	if cfg.Infinite {
+		return &BTB{cfg: cfg, inf: make(map[uint64]Entry)}, nil
+	}
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		return nil, fmt.Errorf("btb: bad geometry %d entries / %d ways", cfg.Entries, cfg.Ways)
+	}
+	nsets := cfg.Entries / cfg.Ways
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("btb: set count %d not a power of two", nsets)
+	}
+	if cfg.TagBits <= 0 || cfg.TagBits > 40 {
+		return nil, fmt.Errorf("btb: tag width %d out of range", cfg.TagBits)
+	}
+	b := &BTB{
+		cfg:     cfg,
+		sets:    make([][]way, nsets),
+		setMask: uint64(nsets - 1),
+		tagMask: (1 << uint(cfg.TagBits)) - 1,
+	}
+	for i := range b.sets {
+		b.sets[i] = make([]way, cfg.Ways)
+	}
+	return b, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(cfg Config) *BTB {
+	b, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func (b *BTB) index(pc uint64) (int, uint64) {
+	set := int(pc & b.setMask)
+	tag := (pc >> uint(popcount(b.setMask))) & b.tagMask
+	return set, tag
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// Lookup probes the BTB at pc, updating LRU on hit.
+func (b *BTB) Lookup(pc uint64) (Entry, bool) {
+	b.stats.Lookups++
+	if b.inf != nil {
+		e, ok := b.inf[pc]
+		if ok {
+			b.stats.Hits++
+		} else {
+			b.stats.Misses++
+		}
+		return e, ok
+	}
+	set, tag := b.index(pc)
+	for w := range b.sets[set] {
+		wy := &b.sets[set][w]
+		if wy.valid && wy.tag == tag {
+			b.tick++
+			wy.lru = b.tick
+			b.stats.Hits++
+			return wy.e, true
+		}
+	}
+	b.stats.Misses++
+	return Entry{}, false
+}
+
+// Probe checks presence without LRU update or stats, for measurement
+// harnesses.
+func (b *BTB) Probe(pc uint64) (Entry, bool) {
+	if b.inf != nil {
+		e, ok := b.inf[pc]
+		return e, ok
+	}
+	set, tag := b.index(pc)
+	for w := range b.sets[set] {
+		wy := &b.sets[set][w]
+		if wy.valid && wy.tag == tag {
+			return wy.e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Insert installs or refreshes the entry for the branch at pc.
+func (b *BTB) Insert(pc uint64, e Entry) {
+	b.stats.Inserts++
+	if b.inf != nil {
+		if _, ok := b.inf[pc]; ok {
+			b.stats.Updates++
+		}
+		b.inf[pc] = e
+		return
+	}
+	set, tag := b.index(pc)
+	b.tick++
+	for w := range b.sets[set] {
+		wy := &b.sets[set][w]
+		if wy.valid && wy.tag == tag {
+			wy.e = e
+			wy.lru = b.tick
+			b.stats.Updates++
+			return
+		}
+	}
+	// Replace invalid way first, else LRU.
+	victim := -1
+	var vlru uint64 = ^uint64(0)
+	for w := range b.sets[set] {
+		wy := &b.sets[set][w]
+		if !wy.valid {
+			victim = w
+			break
+		}
+		if wy.lru < vlru {
+			victim, vlru = w, wy.lru
+		}
+	}
+	if b.sets[set][victim].valid {
+		b.stats.Evictions++
+	}
+	b.sets[set][victim] = way{tag: tag, valid: true, lru: b.tick, e: e}
+}
+
+// Invalidate removes the entry for pc if present.
+func (b *BTB) Invalidate(pc uint64) {
+	if b.inf != nil {
+		delete(b.inf, pc)
+		return
+	}
+	set, tag := b.index(pc)
+	for w := range b.sets[set] {
+		wy := &b.sets[set][w]
+		if wy.valid && wy.tag == tag {
+			*wy = way{}
+		}
+	}
+}
+
+// Stats returns accumulated counts.
+func (b *BTB) Stats() Stats { return b.stats }
+
+// ResetStats zeroes statistics, preserving contents.
+func (b *BTB) ResetStats() { b.stats = Stats{} }
+
+// Config returns the construction configuration.
+func (b *BTB) Config() Config { return b.cfg }

@@ -1,0 +1,193 @@
+package btb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func small() *BTB {
+	return MustNew(Config{Entries: 64, Ways: 4, TagBits: 16})
+}
+
+func TestNewValidation(t *testing.T) {
+	bads := []Config{
+		{Entries: 0, Ways: 4, TagBits: 10},
+		{Entries: 64, Ways: 0, TagBits: 10},
+		{Entries: 63, Ways: 4, TagBits: 10},
+		{Entries: 96, Ways: 4, TagBits: 10}, // 24 sets, not pow2
+		{Entries: 64, Ways: 4, TagBits: 0},
+		{Entries: 64, Ways: 4, TagBits: 50},
+	}
+	for i, c := range bads {
+		if _, err := New(c); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	// Paper: 8K-entry BTB = 78KB.
+	bits := DefaultConfig().StorageBits()
+	kb := float64(bits) / 8 / 1024
+	if kb < 77 || kb > 79 {
+		t.Errorf("8K BTB storage = %.2f KB, want ~78", kb)
+	}
+	if (Config{Infinite: true}).StorageBits() != 0 {
+		t.Error("infinite BTB should report 0 storage")
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	b := small()
+	e := Entry{Target: 0x2000, FallThrough: 0x1005, Class: isa.ClassCall}
+	b.Insert(0x1000, e)
+	got, ok := b.Lookup(0x1000)
+	if !ok || got != e {
+		t.Fatalf("lookup = %+v, %v", got, ok)
+	}
+	if _, ok := b.Lookup(0x1040); ok {
+		t.Error("phantom hit")
+	}
+	s := b.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Inserts != 1 || s.Lookups != 2 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	b := small()
+	b.Insert(0x1000, Entry{Target: 1})
+	b.Insert(0x1000, Entry{Target: 2})
+	e, _ := b.Lookup(0x1000)
+	if e.Target != 2 {
+		t.Errorf("target = %d", e.Target)
+	}
+	if b.Stats().Updates != 1 {
+		t.Errorf("updates = %d", b.Stats().Updates)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 4 ways per set; pcs that collide in one set: with 16 sets, stride
+	// 16 in line-pc space... index uses low bits of pc directly.
+	b := small()                               // 16 sets
+	pcs := []uint64{0x10, 0x110, 0x210, 0x310} // all set 0 (low 4 bits = 0)
+	for _, pc := range pcs {
+		b.Insert(pc, Entry{Target: pc + 1})
+	}
+	b.Lookup(pcs[0])                      // refresh 0x10
+	b.Insert(0x410, Entry{Target: 0x411}) // must evict 0x110 (LRU)
+	if _, ok := b.Probe(pcs[0]); !ok {
+		t.Error("refreshed entry evicted")
+	}
+	if _, ok := b.Probe(pcs[1]); ok {
+		t.Error("LRU entry survived")
+	}
+	if b.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", b.Stats().Evictions)
+	}
+}
+
+func TestProbeNoSideEffects(t *testing.T) {
+	b := small()
+	b.Insert(0x1000, Entry{Target: 5})
+	before := b.Stats()
+	if _, ok := b.Probe(0x1000); !ok {
+		t.Error("probe missed")
+	}
+	if b.Stats() != before {
+		t.Error("probe changed stats")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	b := small()
+	b.Insert(0x1000, Entry{Target: 5})
+	b.Invalidate(0x1000)
+	if _, ok := b.Probe(0x1000); ok {
+		t.Error("entry survived invalidate")
+	}
+	b.Invalidate(0x9999) // absent: no panic
+}
+
+func TestPartialTagAliasing(t *testing.T) {
+	// With a 4-bit tag and 16 sets, pcs 0x10 and 0x10 + 16*16 (same set,
+	// same tag modulo 4 bits after a 2^8 stride) alias.
+	b := MustNew(Config{Entries: 64, Ways: 4, TagBits: 4})
+	pcA := uint64(0x0_10)
+	pcB := pcA + (1 << (4 + 4)) // same set bits, tag differs only above 4 bits
+	b.Insert(pcA, Entry{Target: 111})
+	e, ok := b.Lookup(pcB)
+	if !ok || e.Target != 111 {
+		t.Errorf("expected alias hit with wrong target, got ok=%v e=%+v", ok, e)
+	}
+}
+
+func TestInfinite(t *testing.T) {
+	b := MustNew(Config{Infinite: true})
+	for pc := uint64(0); pc < 100_000; pc += 7 {
+		b.Insert(pc, Entry{Target: pc * 2})
+	}
+	for pc := uint64(0); pc < 100_000; pc += 7 {
+		e, ok := b.Lookup(pc)
+		if !ok || e.Target != pc*2 {
+			t.Fatalf("infinite BTB lost %#x", pc)
+		}
+	}
+	b.Invalidate(0)
+	if _, ok := b.Probe(0); ok {
+		t.Error("invalidate failed on infinite BTB")
+	}
+	if _, ok := b.Probe(3); ok {
+		t.Error("phantom in infinite BTB")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	b := small()
+	b.Insert(1, Entry{})
+	b.Lookup(1)
+	b.ResetStats()
+	if b.Stats() != (Stats{}) {
+		t.Error("stats not reset")
+	}
+	if _, ok := b.Probe(1); !ok {
+		t.Error("reset dropped contents")
+	}
+}
+
+func TestCapacityBehaviour(t *testing.T) {
+	// Inserting far more unique branches than entries must evict; the
+	// survivor count equals capacity.
+	cfg := Config{Entries: 256, Ways: 4, TagBits: 20}
+	b := MustNew(cfg)
+	n := 4096
+	rng := rand.New(rand.NewSource(1))
+	pcs := make([]uint64, n)
+	for i := range pcs {
+		pcs[i] = uint64(rng.Intn(1 << 20))
+		b.Insert(pcs[i], Entry{Target: 1})
+	}
+	resident := 0
+	seen := map[uint64]bool{}
+	for _, pc := range pcs {
+		if seen[pc] {
+			continue
+		}
+		seen[pc] = true
+		if _, ok := b.Probe(pc); ok {
+			resident++
+		}
+	}
+	if resident > cfg.Entries {
+		t.Errorf("%d resident > %d capacity", resident, cfg.Entries)
+	}
+	if resident < cfg.Entries/2 {
+		t.Errorf("only %d resident of %d capacity", resident, cfg.Entries)
+	}
+}

@@ -1,0 +1,207 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, 64); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := New(1024, 0, 64); err == nil {
+		t.Error("zero ways accepted")
+	}
+	if _, err := New(1024, 4, 63); err == nil {
+		t.Error("non-pow2 line accepted")
+	}
+	if _, err := New(1000, 4, 64); err == nil {
+		t.Error("indivisible size accepted")
+	}
+	if _, err := New(3*64*4, 4, 64); err == nil {
+		t.Error("non-pow2 sets accepted")
+	}
+	c, err := New(32*1024, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumSets() != 64 || c.Ways() != 8 {
+		t.Errorf("geometry sets=%d ways=%d", c.NumSets(), c.Ways())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustNew(1, 1, 3)
+}
+
+func TestDemandHitMiss(t *testing.T) {
+	c := MustNew(1024, 2, 64)
+	if c.Demand(0x100) {
+		t.Error("first access should miss")
+	}
+	if !c.Demand(0x100) {
+		t.Error("second access should hit")
+	}
+	if !c.Demand(0x13F) {
+		t.Error("same line should hit")
+	}
+	if c.Demand(0x140) {
+		t.Error("next line should miss")
+	}
+	s := c.Stats()
+	if s.DemandHits != 2 || s.DemandMisses != 2 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 ways, 2 sets, 64B lines = 256B cache. Lines mapping to set 0:
+	// addresses 0, 128, 256, ...
+	c := MustNew(256, 2, 64)
+	c.Demand(0)   // set 0
+	c.Demand(128) // set 0
+	c.Demand(0)   // touch 0: now 128 is LRU
+	c.Demand(256) // evicts 128
+	if !c.Contains(0) {
+		t.Error("recently used line evicted")
+	}
+	if c.Contains(128) {
+		t.Error("LRU line not evicted")
+	}
+	if !c.Contains(256) {
+		t.Error("new line missing")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestPrefetchSemantics(t *testing.T) {
+	c := MustNew(1024, 2, 64)
+	if c.Prefetch(0x40) {
+		t.Error("prefetch of absent line should report false")
+	}
+	if !c.Prefetch(0x40) {
+		t.Error("second prefetch should find it resident")
+	}
+	if !c.Demand(0x40) {
+		t.Error("demand after prefetch should hit")
+	}
+	s := c.Stats()
+	if s.PrefetchIssued != 2 || s.PrefetchFills != 1 || s.PrefetchHits != 1 {
+		t.Errorf("stats %+v", s)
+	}
+	if s.DemandHits != 1 || s.DemandMisses != 0 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestPollutionAccounting(t *testing.T) {
+	c := MustNew(256, 2, 64) // 2 sets x 2 ways
+	c.Prefetch(0)            // set 0, never used
+	c.Demand(128)            // set 0, used
+	c.Demand(256)            // set 0, evicts LRU = line 0 (unused prefetch)
+	s := c.Stats()
+	if s.PollutionEvicted != 1 {
+		t.Errorf("pollution = %d, want 1", s.PollutionEvicted)
+	}
+	// A used prefetched line is not pollution.
+	c2 := MustNew(256, 2, 64)
+	c2.Prefetch(0)
+	c2.Demand(0) // use it
+	c2.Demand(128)
+	c2.Demand(256) // evict line 0
+	if c2.Stats().PollutionEvicted != 0 {
+		t.Errorf("used prefetch counted as pollution")
+	}
+}
+
+func TestContainsDoesNotDisturb(t *testing.T) {
+	c := MustNew(256, 2, 64)
+	c.Demand(0)
+	c.Demand(128)
+	// Probing 0 must not refresh its LRU position.
+	for i := 0; i < 10; i++ {
+		c.Contains(0)
+	}
+	c.Demand(256) // should evict 0 (the true LRU)
+	if c.Contains(0) {
+		t.Error("Contains refreshed LRU")
+	}
+	before := c.Stats()
+	c.Contains(128)
+	if c.Stats() != before {
+		t.Error("Contains changed stats")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := MustNew(1024, 2, 64)
+	c.Demand(0x80)
+	c.Invalidate(0x80)
+	if c.Contains(0x80) {
+		t.Error("line still present after invalidate")
+	}
+	c.Invalidate(0xDEAD000) // absent: must not panic
+}
+
+func TestResetStats(t *testing.T) {
+	c := MustNew(1024, 2, 64)
+	c.Demand(0)
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Error("stats not zeroed")
+	}
+	if !c.Contains(0) {
+		t.Error("ResetStats dropped contents")
+	}
+}
+
+func TestCapacityWorkingSet(t *testing.T) {
+	// A working set equal to capacity must fit entirely (fully warm,
+	// second pass all hits).
+	c := MustNew(32*1024, 8, 64)
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 32*1024; a += 64 {
+			hit := c.Demand(a)
+			if pass == 1 && !hit {
+				t.Fatalf("pass 2 miss at %#x", a)
+			}
+		}
+	}
+	// Double the working set must produce misses in steady state.
+	misses0 := c.Stats().DemandMisses
+	for a := uint64(0); a < 64*1024; a += 64 {
+		c.Demand(a)
+	}
+	for a := uint64(0); a < 64*1024; a += 64 {
+		c.Demand(a)
+	}
+	if c.Stats().DemandMisses == misses0 {
+		t.Error("oversized working set produced no misses")
+	}
+}
+
+func TestRandomizedConsistency(t *testing.T) {
+	// Model check against a naive fully-recorded reference for a
+	// direct-mapped cache.
+	c := MustNew(8*64, 1, 64)
+	ref := map[int]uint64{} // set -> line address
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		addr := uint64(rng.Intn(1 << 14))
+		line := addr &^ 63
+		set := int((line >> 6) & 7)
+		wantHit := ref[set] == line+1 // +1 to distinguish unset
+		gotHit := c.Demand(addr)
+		if gotHit != wantHit {
+			t.Fatalf("step %d addr %#x: hit=%v want %v", i, addr, gotHit, wantHit)
+		}
+		ref[set] = line + 1
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// TestSBDNeverPanicsOnRandomLines: property — both decoders accept
+// arbitrary byte content and arbitrary offsets without panicking, and
+// every extracted branch lies inside its shadow region.
+func TestSBDNeverPanicsOnRandomLines(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	d := newTestSBD()
+	line := make([]byte, program.LineSize)
+	for trial := 0; trial < 5000; trial++ {
+		rng.Read(line)
+		base := uint64(rng.Intn(1<<30)) &^ 63
+
+		entry := rng.Intn(program.LineSize + 1)
+		for _, sb := range d.DecodeHead(line, base, entry, nil) {
+			off := int(sb.PC - base)
+			if off < 0 || off >= entry {
+				t.Fatalf("head branch at +%d outside region [0,%d)", off, entry)
+			}
+			if !sb.Class.IsShadowEligible() {
+				t.Fatalf("ineligible class %v extracted", sb.Class)
+			}
+		}
+
+		start := rng.Intn(program.LineSize)
+		for _, sb := range d.DecodeTail(line, base, start, nil) {
+			off := int(sb.PC - base)
+			if off < start || off >= program.LineSize {
+				t.Fatalf("tail branch at +%d outside region [%d,64)", off, start)
+			}
+			if off+int(sb.Len) > program.LineSize {
+				t.Fatalf("tail branch at +%d len %d crosses the line end", off, sb.Len)
+			}
+		}
+	}
+}
+
+// TestCorroboratedSubsetOfRaw: property — enabling corroboration can
+// only remove head branches, never add or alter them.
+func TestCorroboratedSubsetOfRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	strict := newTestSBD()
+	raw := newRawSBD()
+	line := make([]byte, program.LineSize)
+	for trial := 0; trial < 3000; trial++ {
+		rng.Read(line)
+		entry := 1 + rng.Intn(program.LineSize-1)
+		s := strict.DecodeHead(line, 0, entry, nil)
+		r := raw.DecodeHead(line, 0, entry, nil)
+		if len(s) > len(r) {
+			t.Fatalf("corroboration added branches: %d > %d", len(s), len(r))
+		}
+		inRaw := map[uint64]ShadowBranch{}
+		for _, sb := range r {
+			inRaw[sb.PC] = sb
+		}
+		for _, sb := range s {
+			if got, ok := inRaw[sb.PC]; !ok || got != sb {
+				t.Fatalf("corroborated branch %+v not in raw set", sb)
+			}
+		}
+	}
+}
+
+// TestTailDecodeFindsAllBranchesOnTrueChain: property — when the tail
+// region begins at a true instruction boundary of a synthesized stream,
+// the tail decoder finds exactly the shadow-eligible branches on that
+// stream (its start is certain, so there is no ambiguity).
+func TestTailDecodeFindsAllBranchesOnTrueChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := newTestSBD()
+	for trial := 0; trial < 2000; trial++ {
+		var a isa.Asm
+		type placed struct {
+			off   int
+			class isa.Class
+		}
+		var want []placed
+		for a.Len() < program.LineSize {
+			switch rng.Intn(8) {
+			case 0:
+				want = append(want, placed{a.Len(), isa.ClassReturn})
+				a.Ret()
+			case 1:
+				want = append(want, placed{a.Len(), isa.ClassCall})
+				a.CallRel32(rng.Int31())
+			case 2:
+				want = append(want, placed{a.Len(), isa.ClassDirectUncond})
+				a.JmpRel8(int8(rng.Intn(100)))
+			case 3:
+				a.JccRel8(uint8(rng.Intn(16)), 5) // not shadow-eligible
+			case 4:
+				a.MovImm32(uint8(rng.Intn(8)), rng.Int31())
+			case 5:
+				a.ALUReg(rng.Intn(5), uint8(rng.Intn(8)), uint8(rng.Intn(8)))
+			case 6:
+				a.Push(uint8(rng.Intn(8)))
+			default:
+				a.Nop(1 + rng.Intn(3))
+			}
+		}
+		line := a.Bytes()[:program.LineSize]
+		got := d.DecodeTail(line, 0, 0, nil)
+		// Branches whose encoding crosses the line end are excluded by
+		// the decoder; the last recorded want may be one of those, and
+		// decode stops there. Compare against the prefix that fits.
+		var fit []placed
+		for _, w := range want {
+			if w.off+int(isa.LengthAt(line, w.off)) <= program.LineSize &&
+				isa.LengthAt(line, w.off) != 0 {
+				fit = append(fit, w)
+			} else {
+				break
+			}
+		}
+		if len(got) != len(fit) {
+			t.Fatalf("trial %d: found %d branches, want %d", trial, len(got), len(fit))
+		}
+		for i := range got {
+			if int(got[i].PC) != fit[i].off || got[i].Class != fit[i].class {
+				t.Fatalf("trial %d: branch %d = %+v, want off %d class %v",
+					trial, i, got[i], fit[i].off, fit[i].class)
+			}
+		}
+	}
+}
+
+// TestHeadDecodeTrueBoundaryRegionAlwaysValidates: property — a head
+// region consisting of whole true instructions always has at least one
+// valid path (the true chain) and is never reported as no-valid-path.
+func TestHeadDecodeTrueBoundaryRegionAlwaysValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 2000; trial++ {
+		var a isa.Asm
+		for a.Len() < 40 {
+			switch rng.Intn(5) {
+			case 0:
+				a.Ret()
+			case 1:
+				a.CallRel32(rng.Int31())
+			case 2:
+				a.MovImm32(uint8(rng.Intn(8)), rng.Int31())
+			case 3:
+				a.ALUImm8(uint8(rng.Intn(8)), int8(rng.Intn(100)))
+			default:
+				a.Nop(1 + rng.Intn(4))
+			}
+		}
+		entry := a.Len()
+		for a.Len() < program.LineSize {
+			a.Nop(1)
+		}
+		d := newTestSBD()
+		d.DecodeHead(a.Bytes()[:program.LineSize], 0, entry, nil)
+		s := d.Stats()
+		if s.HeadNoValidPath != 0 {
+			t.Fatalf("trial %d: true-boundary region reported no valid path", trial)
+		}
+	}
+}
+
+// TestSBBInsertLookupRoundTrip: property — any eligible branch inserted
+// into a large-enough SBB is immediately findable with the right class
+// routing.
+func TestSBBInsertLookupRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	s := MustNewSBB(DefaultSBBConfig())
+	classes := []isa.Class{isa.ClassDirectUncond, isa.ClassCall, isa.ClassReturn}
+	for trial := 0; trial < 3000; trial++ {
+		sb := ShadowBranch{
+			PC:     uint64(rng.Intn(1 << 22)),
+			Class:  classes[rng.Intn(len(classes))],
+			Target: uint64(rng.Intn(1 << 22)),
+			Len:    uint8(1 + rng.Intn(14)),
+		}
+		s.Insert(sb, false)
+		switch sb.Class {
+		case isa.ClassReturn:
+			if !s.LookupR(sb.PC) {
+				t.Fatalf("return at %#x lost immediately", sb.PC)
+			}
+		default:
+			e, ok := s.LookupU(sb.PC)
+			if !ok {
+				t.Fatalf("branch at %#x lost immediately", sb.PC)
+			}
+			if e.Target != sb.Target || e.IsCall != (sb.Class == isa.ClassCall) {
+				t.Fatalf("payload mangled: %+v vs %+v", e, sb)
+			}
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func tinySBB() *SBB {
+	return MustNewSBB(SBBConfig{
+		UEntries: 16, UWays: 4,
+		REntries: 16, RWays: 4,
+		TagBits:              10,
+		RetiredFirstEviction: true,
+	})
+}
+
+func TestSBBConfigValidation(t *testing.T) {
+	bads := []SBBConfig{
+		{UEntries: -1, UWays: 4, REntries: 4, RWays: 4, TagBits: 10},
+		{UEntries: 4, UWays: 0, REntries: 4, RWays: 4, TagBits: 10},
+		{UEntries: 5, UWays: 4, REntries: 4, RWays: 4, TagBits: 10},
+		{UEntries: 4, UWays: 4, REntries: 4, RWays: 4, TagBits: 0},
+	}
+	for i, c := range bads {
+		if _, err := NewSBB(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewSBB(DefaultSBBConfig()); err != nil {
+		t.Errorf("default rejected: %v", err)
+	}
+}
+
+func TestDefaultSBBMatchesPaperBudget(t *testing.T) {
+	cfg := DefaultSBBConfig()
+	if cfg.UEntries != 768 || cfg.REntries != 2024 {
+		t.Errorf("entry split %d/%d, paper uses 768/2024", cfg.UEntries, cfg.REntries)
+	}
+	kb := float64(cfg.StorageBits()) / 8 / 1024
+	// Paper: 12.25KB with 78/20-bit entries; ours adds a call bit and a
+	// 4-bit length to U entries, landing slightly above.
+	if kb < 11.5 || kb > 13.5 {
+		t.Errorf("SBB storage %.2f KB, want ~12.25", kb)
+	}
+}
+
+func TestUInsertLookup(t *testing.T) {
+	s := tinySBB()
+	sb := ShadowBranch{PC: 0x1005, Class: isa.ClassCall, Target: 0x9000, Len: 5}
+	s.Insert(sb, false)
+	e, ok := s.LookupU(0x1005)
+	if !ok || e.Target != 0x9000 || !e.IsCall || e.Len != 5 {
+		t.Fatalf("lookup = %+v, %v", e, ok)
+	}
+	if _, ok := s.LookupU(0x1006); ok {
+		t.Error("phantom U hit")
+	}
+	st := s.Stats()
+	if st.UInserts != 1 || st.UHits != 1 || st.UMisses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestRInsertLookup(t *testing.T) {
+	s := tinySBB()
+	s.Insert(ShadowBranch{PC: 0x2031, Class: isa.ClassReturn, Len: 1}, false)
+	if !s.LookupR(0x2031) {
+		t.Fatal("R miss after insert")
+	}
+	// Same line, different offset: must miss.
+	if s.LookupR(0x2032) {
+		t.Error("offset mismatch hit")
+	}
+	// Different line, same offset: must miss.
+	if s.LookupR(0x2071) {
+		t.Error("line mismatch hit")
+	}
+	// Two returns on the same line coexist.
+	s.Insert(ShadowBranch{PC: 0x2004, Class: isa.ClassReturn, Len: 1}, false)
+	if !s.LookupR(0x2031) || !s.LookupR(0x2004) {
+		t.Error("same-line returns should coexist")
+	}
+}
+
+func TestJumpsGoToUSBB(t *testing.T) {
+	s := tinySBB()
+	s.Insert(ShadowBranch{PC: 0x300, Class: isa.ClassDirectUncond, Target: 0x400, Len: 5}, false)
+	e, ok := s.LookupU(0x300)
+	if !ok || e.IsCall {
+		t.Errorf("jump entry = %+v, %v", e, ok)
+	}
+	if s.LookupR(0x300) {
+		t.Error("jump leaked into R-SBB")
+	}
+}
+
+func TestIndirectBranchesNotInsertable(t *testing.T) {
+	// Indirect branches have no statically decodable target; the SBB
+	// must reject them. (Direct conditionals are accepted — the SBD
+	// gates them with its IncludeConditionals extension flag.)
+	s := tinySBB()
+	s.Insert(ShadowBranch{PC: 0x504, Class: isa.ClassIndirect}, false)
+	s.Insert(ShadowBranch{PC: 0x508, Class: isa.ClassIndirectCall}, false)
+	if _, ok := s.LookupU(0x504); ok {
+		t.Error("indirect inserted")
+	}
+	if _, ok := s.LookupU(0x508); ok {
+		t.Error("indirect call inserted")
+	}
+	if s.Stats().UInserts != 0 {
+		t.Error("insert counted for unsupported class")
+	}
+}
+
+func TestRefreshKeepsRetired(t *testing.T) {
+	s := tinySBB()
+	sb := ShadowBranch{PC: 0x700, Class: isa.ClassDirectUncond, Target: 1, Len: 2}
+	s.Insert(sb, false)
+	s.MarkRetired(0x700, isa.ClassDirectUncond)
+	// Re-inserting the same branch (common on re-decode) must not
+	// clear the retired bit; verify via eviction priority below.
+	sb.Target = 2
+	s.Insert(sb, false)
+	e, _ := s.LookupU(0x700)
+	if e.Target != 2 {
+		t.Error("refresh did not update target")
+	}
+	if s.Stats().RetiredMarks != 1 {
+		t.Errorf("retired marks = %d", s.Stats().RetiredMarks)
+	}
+}
+
+func TestRetiredFirstEviction(t *testing.T) {
+	// One set with 4 ways: fill with 4 entries, retire 3, insert a 5th;
+	// the non-retired one must be the victim even if recently used.
+	s := MustNewSBB(SBBConfig{
+		UEntries: 4, UWays: 4, REntries: 4, RWays: 4,
+		TagBits: 10, RetiredFirstEviction: true,
+	})
+	pcs := []uint64{0x10, 0x20, 0x30, 0x40} // all map to the single set
+	for _, pc := range pcs {
+		s.Insert(ShadowBranch{PC: pc, Class: isa.ClassDirectUncond, Target: pc + 1, Len: 2}, false)
+	}
+	s.MarkRetired(0x10, isa.ClassDirectUncond)
+	s.MarkRetired(0x20, isa.ClassDirectUncond)
+	s.MarkRetired(0x40, isa.ClassDirectUncond)
+	s.LookupU(0x30) // refresh the non-retired entry's LRU
+	s.Insert(ShadowBranch{PC: 0x50, Class: isa.ClassDirectUncond, Target: 1, Len: 2}, false)
+	if _, ok := s.LookupU(0x30); ok {
+		t.Error("non-retired entry survived; retired-first eviction broken")
+	}
+	for _, pc := range []uint64{0x10, 0x20, 0x40, 0x50} {
+		if _, ok := s.LookupU(pc); !ok {
+			t.Errorf("entry %#x lost", pc)
+		}
+	}
+}
+
+func TestPlainLRUEvictionWhenDisabled(t *testing.T) {
+	s := MustNewSBB(SBBConfig{
+		UEntries: 4, UWays: 4, REntries: 4, RWays: 4,
+		TagBits: 10, RetiredFirstEviction: false,
+	})
+	pcs := []uint64{0x10, 0x20, 0x30, 0x40}
+	for _, pc := range pcs {
+		s.Insert(ShadowBranch{PC: pc, Class: isa.ClassDirectUncond, Target: 1, Len: 2}, false)
+	}
+	s.MarkRetired(0x10, isa.ClassDirectUncond)
+	// 0x10 is LRU; with retired-first off it is evicted despite being
+	// retired.
+	s.Insert(ShadowBranch{PC: 0x50, Class: isa.ClassDirectUncond, Target: 1, Len: 2}, false)
+	if _, ok := s.LookupU(0x10); ok {
+		t.Error("LRU entry survived with retired-first disabled")
+	}
+}
+
+func TestFilterBTBResident(t *testing.T) {
+	cfg := DefaultSBBConfig()
+	cfg.FilterBTBResident = true
+	s := MustNewSBB(cfg)
+	s.Insert(ShadowBranch{PC: 0x99, Class: isa.ClassDirectUncond, Target: 1, Len: 2}, true)
+	if _, ok := s.LookupU(0x99); ok {
+		t.Error("BTB-resident branch inserted despite filter")
+	}
+	if s.Stats().FilteredBTBResident != 1 {
+		t.Errorf("filter stat = %d", s.Stats().FilteredBTBResident)
+	}
+	// Without the filter flag, residency is ignored.
+	s2 := tinySBB()
+	s2.Insert(ShadowBranch{PC: 0x99, Class: isa.ClassDirectUncond, Target: 1, Len: 2}, true)
+	if _, ok := s2.LookupU(0x99); !ok {
+		t.Error("insert skipped without filter enabled")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	s := tinySBB()
+	s.Insert(ShadowBranch{PC: 0x123, Class: isa.ClassDirectUncond, Target: 1, Len: 2}, false)
+	s.Insert(ShadowBranch{PC: 0x456, Class: isa.ClassReturn, Len: 1}, false)
+	s.Invalidate(0x123)
+	s.Invalidate(0x456)
+	if _, ok := s.LookupU(0x123); ok {
+		t.Error("U entry survived invalidate")
+	}
+	if s.LookupR(0x456) {
+		t.Error("R entry survived invalidate")
+	}
+	if s.Stats().Invalidated != 2 {
+		t.Errorf("invalidated = %d", s.Stats().Invalidated)
+	}
+	s.Invalidate(0xFFFF) // absent: no panic
+}
+
+func TestMarkRetiredReturn(t *testing.T) {
+	s := tinySBB()
+	s.Insert(ShadowBranch{PC: 0x2031, Class: isa.ClassReturn, Len: 1}, false)
+	s.MarkRetired(0x2031, isa.ClassReturn)
+	if s.Stats().RetiredMarks != 1 {
+		t.Errorf("retired marks = %d", s.Stats().RetiredMarks)
+	}
+	// Re-marking is idempotent.
+	s.MarkRetired(0x2031, isa.ClassReturn)
+	if s.Stats().RetiredMarks != 1 {
+		t.Error("re-mark counted twice")
+	}
+	// Marking an absent pc is a no-op.
+	s.MarkRetired(0x9999, isa.ClassReturn)
+}
+
+func TestUOnlyAndROnlyConfigs(t *testing.T) {
+	// Sensitivity sweeps use degenerate configurations with one buffer
+	// empty (Figure 17 endpoints).
+	uOnly := MustNewSBB(SBBConfig{UEntries: 8, UWays: 4, REntries: 0, RWays: 4, TagBits: 10})
+	uOnly.Insert(ShadowBranch{PC: 0x11, Class: isa.ClassReturn, Len: 1}, false)
+	if uOnly.LookupR(0x11) {
+		t.Error("R lookup hit with zero R entries")
+	}
+	uOnly.Insert(ShadowBranch{PC: 0x12, Class: isa.ClassDirectUncond, Target: 1, Len: 2}, false)
+	if _, ok := uOnly.LookupU(0x12); !ok {
+		t.Error("U half broken in U-only config")
+	}
+
+	rOnly := MustNewSBB(SBBConfig{UEntries: 0, UWays: 4, REntries: 8, RWays: 4, TagBits: 10})
+	rOnly.Insert(ShadowBranch{PC: 0x21, Class: isa.ClassDirectUncond, Target: 1, Len: 2}, false)
+	if _, ok := rOnly.LookupU(0x21); ok {
+		t.Error("U lookup hit with zero U entries")
+	}
+	rOnly.Insert(ShadowBranch{PC: 0x22, Class: isa.ClassReturn, Len: 1}, false)
+	if !rOnly.LookupR(0x22) {
+		t.Error("R half broken in R-only config")
+	}
+	rOnly.MarkRetired(0x21, isa.ClassDirectUncond) // no panic on empty U
+	uOnly.MarkRetired(0x11, isa.ClassReturn)       // no panic on empty R
+	rOnly.Invalidate(0x21)
+	uOnly.Invalidate(0x11)
+}
+
+func TestNonPowerOfTwoSets(t *testing.T) {
+	// The paper's R-SBB has 2024 entries = 506 sets; verify modulo
+	// indexing round-trips across a spread of addresses.
+	s := MustNewSBB(SBBConfig{UEntries: 768, UWays: 4, REntries: 2024, RWays: 4, TagBits: 10})
+	for i := uint64(0); i < 300; i++ {
+		pc := 0x40_0000 + i*64 + (i % 60)
+		s.Insert(ShadowBranch{PC: pc, Class: isa.ClassReturn, Len: 1}, false)
+		if !s.LookupR(pc) {
+			t.Fatalf("R entry %#x lost immediately", pc)
+		}
+	}
+}
+
+func TestResetStatsSBB(t *testing.T) {
+	s := tinySBB()
+	s.Insert(ShadowBranch{PC: 1, Class: isa.ClassReturn, Len: 1}, false)
+	s.LookupR(1)
+	s.ResetStats()
+	if s.Stats() != (SBBStats{}) {
+		t.Error("stats not reset")
+	}
+	if !s.LookupR(1) {
+		t.Error("contents lost on stats reset")
+	}
+}

@@ -1,0 +1,197 @@
+// Package cpu assembles the whole simulated core: the decoupled FDIP
+// front-end (internal/frontend) feeding a backend model with a
+// reorder-buffer occupancy limit and a retire width. For the
+// front-end-bound workloads the paper studies, IPC is set by how well
+// the front-end keeps the decoder fed — which is exactly the quantity
+// Skia improves — so the backend is deliberately simple: it retires up
+// to RetireWidth instructions per cycle from a ROB the decoder fills.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/btb"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/frontend"
+	"repro/internal/ittage"
+	"repro/internal/stats"
+	"repro/internal/tage"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a core.
+type Config struct {
+	// Frontend configures the decoupled front-end.
+	Frontend frontend.Config
+	// RetireWidth is instructions retired per cycle (Table 1: 12).
+	RetireWidth int
+	// ROBSize bounds in-flight instructions (Table 1: 512).
+	ROBSize int
+}
+
+// DefaultConfig is the paper's baseline core without Skia.
+func DefaultConfig() Config {
+	return Config{
+		Frontend:    frontend.DefaultConfig(),
+		RetireWidth: 12,
+		ROBSize:     512,
+	}
+}
+
+// SkiaConfig is the baseline plus the default Skia front-end.
+func SkiaConfig() Config {
+	c := DefaultConfig()
+	c.Frontend = frontend.SkiaConfig()
+	return c
+}
+
+// Result is the outcome of one simulation window.
+type Result struct {
+	Benchmark    string
+	Cycles       uint64
+	Instructions uint64
+	IPC          float64
+
+	FE     frontend.Stats
+	L1I    cache.Stats
+	L2     cache.Stats
+	BTB    btb.Stats
+	TAGE   tage.Stats
+	ITTAGE ittage.Stats
+	SBB    core.SBBStats
+	SBD    core.SBDStats
+
+	// BTBMissMPKI counts taken branches unidentified by the BTB per
+	// kilo-instruction (SBB-covered ones included: they are still BTB
+	// misses).
+	BTBMissMPKI float64
+	// EffectiveMissMPKI subtracts SBB-covered misses: the misses that
+	// still cost a re-steer.
+	EffectiveMissMPKI float64
+	// L1IMPKI counts FDIP prefetch fills per kilo-instruction: the
+	// demand-miss rate a non-prefetching cache would expose.
+	L1IMPKI float64
+	// BTBMissL1IHitFrac is the fraction of BTB misses whose line was
+	// already L1-I resident (the shadow opportunity).
+	BTBMissL1IHitFrac float64
+	// DecodeIdleFrac is the fraction of cycles the decoder idled.
+	DecodeIdleFrac float64
+	// CondMPKI is conditional direction mispredictions per kilo-inst.
+	CondMPKI float64
+}
+
+// Core is one simulated CPU. Not safe for concurrent use.
+type Core struct {
+	cfg Config
+	fe  *frontend.FrontEnd
+
+	cycles  uint64
+	retired uint64
+	rob     int
+}
+
+// New builds a core over a workload. The front-end's re-steer penalties
+// are widened by the BTB's size-dependent access latency (the cacti
+// adjustment from Section 5.1).
+func New(cfg Config, w *workload.Workload) (*Core, error) {
+	extra := BTBAccessLatency(cfg.Frontend.BTB) - BTBAccessLatency(btb.DefaultConfig())
+	if extra > 0 {
+		cfg.Frontend.DecodeResteerPenalty += extra
+		cfg.Frontend.ExecResteerPenalty += extra
+	}
+	fe, err := frontend.New(cfg.Frontend, w)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: %w", err)
+	}
+	if cfg.RetireWidth <= 0 || cfg.ROBSize <= 0 {
+		return nil, fmt.Errorf("cpu: non-positive backend geometry %d/%d", cfg.RetireWidth, cfg.ROBSize)
+	}
+	return &Core{cfg: cfg, fe: fe}, nil
+}
+
+// Frontend exposes the front-end for inspection.
+func (c *Core) Frontend() *frontend.FrontEnd { return c.fe }
+
+// Cycles returns the cycles simulated since the last ResetStats.
+func (c *Core) Cycles() uint64 { return c.cycles }
+
+// Retired returns the instructions retired since the last ResetStats.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Run simulates until at least n more instructions retire or the
+// workload ends. It returns the instructions retired during this call.
+func (c *Core) Run(n uint64) uint64 {
+	target := c.retired + n
+	for c.retired < target && !c.fe.Done() {
+		c.cycles++
+		// Retire from the ROB.
+		r := c.cfg.RetireWidth
+		if r > c.rob {
+			r = c.rob
+		}
+		c.rob -= r
+		c.retired += uint64(r)
+		// Decode into the ROB, bounded by free space.
+		space := c.cfg.ROBSize - c.rob
+		c.rob += c.fe.Step(space)
+	}
+	return c.retired - (target - n)
+}
+
+// ResetStats starts a fresh measurement window (the warmup boundary):
+// all statistics reset, all learned microarchitectural state kept.
+func (c *Core) ResetStats() {
+	c.fe.ResetStats()
+	c.cycles = 0
+	c.retired = 0
+}
+
+// Result snapshots the current measurement window.
+func (c *Core) Result(benchmark string) Result {
+	fe := c.fe.Stats()
+	res := Result{
+		Benchmark:    benchmark,
+		Cycles:       c.cycles,
+		Instructions: c.retired,
+		IPC:          stats.IPC(c.retired, c.cycles),
+		FE:           fe,
+		L1I:          c.fe.L1I().Stats(),
+		L2:           c.fe.L2().Stats(),
+		BTB:          c.fe.BTB().Stats(),
+		TAGE:         c.fe.TAGE().Stats(),
+		ITTAGE:       c.fe.ITTAGE().Stats(),
+	}
+	if sbb := c.fe.SBB(); sbb != nil {
+		res.SBB = sbb.Stats()
+	}
+	if sbd := c.fe.SBD(); sbd != nil {
+		res.SBD = sbd.Stats()
+	}
+	res.BTBMissMPKI = stats.MPKI(fe.BTBMissTotal(), c.retired)
+	res.EffectiveMissMPKI = stats.MPKI(fe.BTBMissTotal()-fe.SBBCoveredTotal(), c.retired)
+	res.L1IMPKI = stats.MPKI(res.L1I.PrefetchFills, c.retired)
+	if t := fe.BTBMissTotal(); t > 0 {
+		res.BTBMissL1IHitFrac = float64(fe.BTBMissL1IHit) / float64(t)
+	}
+	if c.cycles > 0 {
+		res.DecodeIdleFrac = float64(fe.DecodeIdleCycles) / float64(c.cycles)
+	}
+	res.CondMPKI = stats.MPKI(fe.CondMispredicts, c.retired)
+	return res
+}
+
+// BTBAccessLatency returns the approximate pipeline cycles to access a
+// BTB of the given geometry, standing in for the paper's cacti-derived
+// latency scaling: small BTBs fit a single cycle; every quadrupling
+// past 8K entries costs another cycle.
+func BTBAccessLatency(cfg btb.Config) int {
+	if cfg.Infinite {
+		return 1
+	}
+	lat := 1
+	for e := cfg.Entries; e > 8192; e /= 4 {
+		lat++
+	}
+	return lat
+}

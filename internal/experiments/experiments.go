@@ -1,0 +1,95 @@
+// Package experiments contains one harness per table and figure in the
+// paper's evaluation (Section 6), plus the ablations DESIGN.md calls
+// out. Each harness assembles RunSpecs, executes them through a
+// sim.Runner, and renders the same rows/series the paper reports.
+// Absolute numbers differ from the paper's gem5 testbed; the harnesses
+// exist to reproduce the shapes: who wins, by roughly what factor, and
+// where the crossovers fall.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Warmup and Measure override the per-run instruction windows
+	// (zero = sim defaults).
+	Warmup, Measure uint64
+	// Benchmarks overrides the benchmark list (default: the paper's
+	// 16-benchmark suite).
+	Benchmarks []string
+	// Workers bounds simulation concurrency (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) benchmarks() []string {
+	if len(o.Benchmarks) > 0 {
+		return o.Benchmarks
+	}
+	return workload.SuiteNames()
+}
+
+func (o Options) runner() *sim.Runner {
+	r := sim.NewRunner()
+	r.Workers = o.Workers
+	return r
+}
+
+// Report is a rendered experiment result.
+type Report struct {
+	// ID is the paper artifact this regenerates (e.g. "fig14").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Table holds the rendered rows.
+	Table *stats.Table
+	// Notes carries shape checks and caveats.
+	Notes []string
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	s := fmt.Sprintf("== %s: %s ==\n%s", r.ID, r.Title, r.Table)
+	for _, n := range r.Notes {
+		s += "note: " + n + "\n"
+	}
+	return s
+}
+
+// baselineSpec builds the paper's Table 1 baseline spec for a
+// benchmark.
+func baselineSpec(bench string, o Options) sim.RunSpec {
+	return sim.RunSpec{
+		Benchmark: bench,
+		Config:    cpu.DefaultConfig(),
+		Warmup:    o.Warmup,
+		Measure:   o.Measure,
+		Label:     "baseline",
+	}
+}
+
+// skiaSpec builds the default Skia spec for a benchmark.
+func skiaSpec(bench string, o Options) sim.RunSpec {
+	return sim.RunSpec{
+		Benchmark: bench,
+		Config:    cpu.SkiaConfig(),
+		Warmup:    o.Warmup,
+		Measure:   o.Measure,
+		Label:     "skia",
+	}
+}
+
+// pct formats a fraction as a percentage string.
+func pct(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
+
+// f3 formats with three decimals.
+func f3(f float64) string { return fmt.Sprintf("%.3f", f) }
+
+// f2 formats with two decimals.
+func f2(f float64) string { return fmt.Sprintf("%.2f", f) }

@@ -1,0 +1,930 @@
+package frontend
+
+import (
+	"fmt"
+
+	"repro/internal/btb"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/ftq"
+	"repro/internal/isa"
+	"repro/internal/ittage"
+	"repro/internal/program"
+	"repro/internal/ras"
+	"repro/internal/tage"
+	"repro/internal/workload"
+)
+
+// LineFetch records one cache line covered by a block and whether it
+// was already L1-I resident when the block's prefetch was issued.
+type LineFetch struct {
+	Addr        uint64
+	WasResident bool
+}
+
+// CondRec is a conditional branch inside a block that the IAG predicted
+// not-taken, with the TAGE bookkeeping needed to train at decode.
+type CondRec struct {
+	PC   uint64
+	Pred tage.Prediction
+}
+
+// Block is one FTQ entry: a predicted basic block.
+type Block struct {
+	// Start and End delimit the block's bytes [Start, End).
+	Start, End uint64
+	// BranchPC is the predicted-taken terminator, 0 for fall-through
+	// blocks that simply ran to the line-span cap.
+	BranchPC uint64
+	// Class is the terminator's branch class.
+	Class isa.Class
+	// Target is the predicted address of the next block.
+	Target uint64
+	// TakenPred distinguishes terminated blocks from fall-through ones.
+	TakenPred bool
+	// ViaSBB marks terminators identified by the SBB after a BTB miss.
+	ViaSBB bool
+	// EntryIsTarget marks blocks whose Start is a branch target (head
+	// shadow decode trigger) rather than sequential continuation.
+	EntryIsTarget bool
+	// WrongPath marks blocks formed while a re-steer was pending.
+	WrongPath bool
+	// ReadyAt is the cycle the block's bytes are available to decode.
+	ReadyAt uint64
+	// Lines lists covered cache lines with residency-at-prefetch.
+	Lines []LineFetch
+	// Conds lists predicted-not-taken conditionals inside the block.
+	Conds []CondRec
+	// TermCond is the TAGE bookkeeping for a conditional terminator.
+	TermCond tage.Prediction
+	// TermInd is the ITTAGE bookkeeping for an indirect terminator.
+	TermInd ittage.Prediction
+}
+
+// redirectKind distinguishes re-steer timing models.
+type redirectKind int
+
+const (
+	redirectDecode redirectKind = iota
+	redirectExec
+)
+
+type redirect struct {
+	pc      uint64
+	applyAt uint64
+	kind    redirectKind
+}
+
+type sbdTask struct {
+	atCycle  uint64
+	head     bool
+	lineAddr uint64
+	off      int
+}
+
+// FrontEnd is the full decoupled front-end for one simulation run. Not
+// safe for concurrent use; create one per run.
+type FrontEnd struct {
+	cfg Config
+	w   *workload.Workload
+	em  *emu.Emulator
+
+	l1i *cache.Cache
+	l2  *cache.Cache
+	btb *btb.BTB
+	tg  *tage.Predictor
+	it  *ittage.Predictor
+	rs  *ras.Stack
+	sbd *core.SBD
+	sbb *core.SBB
+
+	q        *ftq.Queue[Block]
+	specPC   uint64
+	entryTgt bool // next block starts at a branch target
+
+	cycle        uint64
+	iagStallTill uint64
+	redir        *redirect
+
+	cur        *Block
+	curPC      uint64
+	idleStreak uint64
+	pending    *emu.Step
+	done       bool
+	err        error
+	scratch    []core.ShadowBranch
+	sbdTasks   []sbdTask
+	extraOffs  map[uint64][]uint8 // bogus SBB pcs, per line
+
+	stats Stats
+}
+
+// New builds a front-end over a generated workload.
+func New(cfg Config, w *workload.Workload) (*FrontEnd, error) {
+	l1i, err := cache.New(cfg.L1ISize, cfg.L1IWays, program.LineSize)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: %w", err)
+	}
+	l2, err := cache.New(cfg.L2Size, cfg.L2Ways, program.LineSize)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: %w", err)
+	}
+	b, err := btb.New(cfg.BTB)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: %w", err)
+	}
+	f := &FrontEnd{
+		cfg:       cfg,
+		w:         w,
+		em:        emu.New(w),
+		l1i:       l1i,
+		l2:        l2,
+		btb:       b,
+		tg:        tage.New(cfg.TAGE),
+		it:        ittage.New(cfg.ITTAGE),
+		rs:        ras.New(cfg.RASDepth),
+		q:         ftq.New[Block](cfg.FTQDepth),
+		specPC:    w.Prog.Entry,
+		entryTgt:  true,
+		extraOffs: make(map[uint64][]uint8),
+	}
+	if cfg.Skia {
+		f.sbd = core.NewSBD(cfg.SBD)
+		if !cfg.SBDToBTB {
+			sbb, err := core.NewSBB(cfg.SBB)
+			if err != nil {
+				return nil, fmt.Errorf("frontend: %w", err)
+			}
+			f.sbb = sbb
+		}
+	}
+	return f, nil
+}
+
+// Done reports whether the workload halted or errored.
+func (f *FrontEnd) Done() bool { return f.done }
+
+// Err returns the first emulator error, if any.
+func (f *FrontEnd) Err() error { return f.err }
+
+// Cycle returns the current cycle number.
+func (f *FrontEnd) Cycle() uint64 { return f.cycle }
+
+// Stats returns a copy of the accumulated statistics.
+func (f *FrontEnd) Stats() Stats { return f.stats }
+
+// L1I exposes the instruction cache for measurement.
+func (f *FrontEnd) L1I() *cache.Cache { return f.l1i }
+
+// L2 exposes the second-level cache (instruction traffic only).
+func (f *FrontEnd) L2() *cache.Cache { return f.l2 }
+
+// BTB exposes the branch target buffer for measurement.
+func (f *FrontEnd) BTB() *btb.BTB { return f.btb }
+
+// TAGE exposes the direction predictor for measurement.
+func (f *FrontEnd) TAGE() *tage.Predictor { return f.tg }
+
+// ITTAGE exposes the indirect predictor for measurement.
+func (f *FrontEnd) ITTAGE() *ittage.Predictor { return f.it }
+
+// SBB exposes the shadow branch buffer (nil without Skia).
+func (f *FrontEnd) SBB() *core.SBB { return f.sbb }
+
+// SBD exposes the shadow branch decoder (nil without Skia).
+func (f *FrontEnd) SBD() *core.SBD { return f.sbd }
+
+// ResetStats zeroes all statistics (front-end and components) at the
+// warmup/measurement boundary without touching learned state.
+func (f *FrontEnd) ResetStats() {
+	f.stats = Stats{}
+	f.l1i.ResetStats()
+	f.l2.ResetStats()
+	f.btb.ResetStats()
+	f.tg.ResetStats()
+	f.it.ResetStats()
+	if f.sbb != nil {
+		f.sbb.ResetStats()
+	}
+	if f.sbd != nil {
+		f.sbd.ResetStats()
+	}
+}
+
+// peek returns the next true-path step without consuming it.
+func (f *FrontEnd) peek() (emu.Step, bool) {
+	if f.pending == nil {
+		if f.em.Halted() {
+			f.done = true
+			return emu.Step{}, false
+		}
+		st, err := f.em.Step()
+		if err != nil {
+			f.err = err
+			f.done = true
+			return emu.Step{}, false
+		}
+		f.pending = &st
+	}
+	return *f.pending, true
+}
+
+// consume advances past the peeked step.
+func (f *FrontEnd) consume() { f.pending = nil }
+
+// Step advances the front-end by one cycle and returns the number of
+// true-path instructions decoded (delivered to the backend) this cycle.
+// maxDecode lets the caller apply backpressure (ROB full).
+func (f *FrontEnd) Step(maxDecode int) int {
+	f.cycle++
+
+	// 0. Apply a matured re-steer.
+	if f.redir != nil && f.cycle >= f.redir.applyAt {
+		f.applyRedirect()
+	}
+
+	// 1. Run due shadow-branch decodes (off the critical path).
+	if f.sbd != nil {
+		f.runSBDTasks()
+	}
+
+	// 2. IAG: form predicted blocks into the FTQ.
+	if f.cycle >= f.iagStallTill {
+		for i := 0; i < 2 && !f.q.Full(); i++ {
+			f.q.Push(f.formBlock())
+		}
+	}
+
+	// 3. Decode: verify the predicted stream against the true stream.
+	n := f.decode(maxDecode)
+
+	// Safety valve: if the decoder has been starved for implausibly
+	// long (far beyond any miss or re-steer latency), force a resync to
+	// the true path rather than livelock. A triggered resync indicates
+	// a front-end modeling bug, so it is counted and surfaced.
+	if n == 0 && maxDecode > 0 {
+		f.idleStreak++
+		if f.idleStreak > 4096 && f.redir == nil {
+			if st, ok := f.peek(); ok {
+				f.stats.ForcedResyncs++
+				f.scheduleRedirect(st.Inst.PC, redirectDecode)
+			}
+			f.idleStreak = 0
+		}
+	} else {
+		f.idleStreak = 0
+	}
+	return n
+}
+
+// scheduleRedirect arranges a re-steer to pc. Decode-stage re-steers
+// flush immediately and stall the IAG for the repair window; execute-
+// stage re-steers leave the IAG running down the wrong path until the
+// branch resolves.
+func (f *FrontEnd) scheduleRedirect(pc uint64, kind redirectKind) {
+	switch kind {
+	case redirectDecode:
+		f.stats.DecodeResteers++
+		f.q.Flush()
+		f.cur = nil
+		f.specPC = pc
+		f.entryTgt = true
+		f.rs.LoadFrom(f.em.StackCopy())
+		f.tg.SyncSpec()
+		f.it.SyncSpec()
+		f.iagStallTill = f.cycle + uint64(f.cfg.DecodeResteerPenalty)
+		f.redir = &redirect{pc: pc, applyAt: f.cycle + uint64(f.cfg.DecodeResteerPenalty), kind: kind}
+	case redirectExec:
+		f.stats.ExecResteers++
+		f.redir = &redirect{pc: pc, applyAt: f.cycle + uint64(f.cfg.ExecResteerPenalty), kind: kind}
+	}
+}
+
+// applyRedirect finishes a pending re-steer.
+func (f *FrontEnd) applyRedirect() {
+	r := f.redir
+	f.redir = nil
+	if r.kind == redirectExec {
+		f.q.Flush()
+		f.cur = nil
+		f.specPC = r.pc
+		f.entryTgt = true
+		f.rs.LoadFrom(f.em.StackCopy())
+		f.tg.SyncSpec()
+		f.it.SyncSpec()
+	}
+	// Decode re-steers already redirected the IAG at schedule time.
+}
+
+// candidates returns the branch-site byte offsets to probe in a line:
+// the static branch starts plus any PCs the SBD has (possibly bogusly)
+// inserted.
+func (f *FrontEnd) candidates(lineAddr uint64) ([]uint8, []uint8) {
+	return f.w.BranchOffsets(lineAddr), f.extraOffs[lineAddr]
+}
+
+// formBlock builds the next predicted basic block from specPC,
+// consulting BTB, SBB, TAGE, ITTAGE and RAS, issues its prefetches, and
+// schedules shadow decodes.
+func (f *FrontEnd) formBlock() Block {
+	blk := Block{
+		Start:         f.specPC,
+		EntryIsTarget: f.entryTgt,
+		WrongPath:     f.redir != nil,
+	}
+	pos := f.specPC
+
+scan:
+	for ln := 0; ln < f.cfg.MaxBlockLines; ln++ {
+		lineAddr := program.LineAddr(pos)
+		static, extra := f.candidates(lineAddr)
+		// Merge the two sorted-ish candidate lists; extras are few, so
+		// a simple two-cursor walk over static with extra checks keeps
+		// this allocation-free.
+		for _, off := range mergeOffsets(static, extra) {
+			pc := lineAddr + uint64(off)
+			if pc < pos {
+				continue
+			}
+			if e, ok := f.btb.Lookup(pc); ok {
+				if f.terminateViaBTB(&blk, pc, e) {
+					break scan
+				}
+				// Predicted not-taken conditional: continue past it.
+				pos = e.FallThrough
+				continue
+			}
+			if f.sbb != nil {
+				if u, ok := f.sbb.LookupU(pc); ok {
+					if u.IsCond {
+						// Extension (IncludeConditionals): a shadow
+						// conditional still needs a direction from TAGE
+						// before the IAG can follow its target.
+						pred := f.tg.Predict(pc)
+						f.tg.SpecPush(pred.Taken, pc)
+						if !pred.Taken {
+							blk.Conds = append(blk.Conds, CondRec{PC: pc, Pred: pred})
+							pos = pc + uint64(u.Len)
+							continue
+						}
+						blk.TermCond = pred
+						blk.Class = isa.ClassDirectCond
+					} else if u.IsCall {
+						blk.Class = isa.ClassCall
+						f.rs.Push(pc + uint64(u.Len))
+					} else {
+						blk.Class = isa.ClassDirectUncond
+					}
+					blk.BranchPC = pc
+					blk.Target = u.Target
+					blk.TakenPred = true
+					blk.ViaSBB = true
+					blk.End = pc + uint64(u.Len)
+					break scan
+				}
+				if f.sbb.LookupR(pc) {
+					if tgt, ok := f.rs.Pop(); ok {
+						blk.BranchPC = pc
+						blk.Target = tgt
+						blk.TakenPred = true
+						blk.ViaSBB = true
+						blk.Class = isa.ClassReturn
+						blk.End = pc + 1
+						break scan
+					}
+				}
+			}
+		}
+		// Continue into the next line, never rewinding past a
+		// not-taken conditional whose fall-through crossed the line.
+		if next := lineAddr + program.LineSize; next > pos {
+			pos = next
+		}
+	}
+	if !blk.TakenPred {
+		blk.End = pos
+		blk.Target = pos
+	}
+
+	// Prefetch every covered line, recording residency for the shadow
+	// opportunity statistics.
+	first := program.LineAddr(blk.Start)
+	last := program.LineAddr(blk.End - 1)
+	if blk.End <= blk.Start {
+		last = first
+	}
+	fillLat := 0
+	for la := first; la <= last; la += program.LineSize {
+		resident := f.l1i.Prefetch(la)
+		if !resident {
+			// The fill comes from the L2 or, on an L2 miss, the L3;
+			// concurrent line fills overlap, so the block pays the
+			// worst single-line latency.
+			lat := f.cfg.L1IMissLatency
+			if !f.l2.Prefetch(la) {
+				lat = f.cfg.L2MissLatency
+			}
+			if lat > fillLat {
+				fillLat = lat
+			}
+		}
+		blk.Lines = append(blk.Lines, LineFetch{Addr: la, WasResident: resident})
+	}
+	blk.ReadyAt = f.cycle + uint64(f.cfg.FetchLatency) + uint64(fillLat)
+
+	if blk.WrongPath {
+		f.stats.WrongPathBlocks++
+	} else {
+		f.stats.Blocks++
+	}
+
+	// Schedule shadow decodes (Skia): the Head region of a
+	// branch-target entry line and the Tail region after a taken exit.
+	if f.sbd != nil {
+		lat := uint64(f.cfg.SBD.Latency)
+		if blk.EntryIsTarget {
+			if off := program.LineOffset(blk.Start); off > 0 {
+				f.sbdTasks = append(f.sbdTasks, sbdTask{
+					atCycle: blk.ReadyAt + lat, head: true,
+					lineAddr: program.LineAddr(blk.Start), off: off,
+				})
+			}
+		}
+		if blk.TakenPred {
+			tailStart := blk.End // first byte after the exiting branch
+			if off := program.LineOffset(tailStart); off != 0 {
+				f.sbdTasks = append(f.sbdTasks, sbdTask{
+					atCycle: blk.ReadyAt + lat, head: false,
+					lineAddr: program.LineAddr(tailStart), off: off,
+				})
+			}
+		}
+	}
+
+	// Predicted-taken terminators enter the speculative path history.
+	if blk.TakenPred {
+		f.it.SpecPush(blk.BranchPC, blk.Target)
+	}
+
+	// Advance the speculative PC.
+	f.specPC = blk.Target
+	f.entryTgt = blk.TakenPred
+	return blk
+}
+
+// terminateViaBTB handles a BTB hit during the scan. It returns true
+// when the block terminates at pc.
+func (f *FrontEnd) terminateViaBTB(blk *Block, pc uint64, e btb.Entry) bool {
+	switch e.Class {
+	case isa.ClassDirectCond:
+		pred := f.tg.Predict(pc)
+		f.tg.SpecPush(pred.Taken, pc)
+		if !pred.Taken {
+			blk.Conds = append(blk.Conds, CondRec{PC: pc, Pred: pred})
+			return false
+		}
+		blk.TermCond = pred
+		blk.Target = e.Target
+	case isa.ClassDirectUncond:
+		blk.Target = e.Target
+	case isa.ClassCall:
+		f.rs.Push(e.FallThrough)
+		blk.Target = e.Target
+	case isa.ClassReturn:
+		if tgt, ok := f.rs.Pop(); ok {
+			blk.Target = tgt
+		} else {
+			blk.Target = e.Target
+		}
+	case isa.ClassIndirect, isa.ClassIndirectCall:
+		p := f.it.Predict(pc)
+		if p.Valid {
+			blk.Target = p.Target
+		} else {
+			blk.Target = e.Target
+		}
+		blk.TermInd = p
+		if e.Class == isa.ClassIndirectCall {
+			f.rs.Push(e.FallThrough)
+		}
+	}
+	blk.BranchPC = pc
+	blk.Class = e.Class
+	blk.TakenPred = true
+	blk.End = e.FallThrough
+	return true
+}
+
+// mergeOffsets returns the union of two sorted offset lists. The common
+// case is extra == nil, which returns static unchanged.
+func mergeOffsets(static, extra []uint8) []uint8 {
+	if len(extra) == 0 {
+		return static
+	}
+	out := make([]uint8, 0, len(static)+len(extra))
+	i, j := 0, 0
+	for i < len(static) && j < len(extra) {
+		switch {
+		case static[i] < extra[j]:
+			out = append(out, static[i])
+			i++
+		case static[i] > extra[j]:
+			out = append(out, extra[j])
+			j++
+		default:
+			out = append(out, static[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, static[i:]...)
+	out = append(out, extra[j:]...)
+	return out
+}
+
+// runSBDTasks executes shadow decodes whose latency has elapsed and
+// whose line is still L1-I resident, inserting results into the SBB.
+func (f *FrontEnd) runSBDTasks() {
+	kept := f.sbdTasks[:0]
+	for _, t := range f.sbdTasks {
+		if t.atCycle > f.cycle {
+			kept = append(kept, t)
+			continue
+		}
+		if !f.l1i.Contains(t.lineAddr) {
+			continue // line evicted before the decoder got to it
+		}
+		line := f.w.Prog.Line(t.lineAddr)
+		if line == nil {
+			continue
+		}
+		f.scratch = f.scratch[:0]
+		if t.head {
+			f.scratch = f.sbd.DecodeHead(line, t.lineAddr, t.off, f.scratch)
+		} else {
+			f.scratch = f.sbd.DecodeTail(line, t.lineAddr, t.off, f.scratch)
+		}
+		for _, sb := range f.scratch {
+			if f.cfg.SBDToBTB {
+				// Ablation: shadow branches go straight into the BTB.
+				f.btb.Insert(sb.PC, btb.Entry{
+					Target:      sb.Target,
+					FallThrough: sb.PC + uint64(sb.Len),
+					Class:       sb.Class,
+				})
+			} else {
+				_, resident := f.btb.Probe(sb.PC)
+				f.sbb.Insert(sb, resident)
+			}
+			f.stats.SBDInserts++
+			f.noteSBBInsert(sb)
+		}
+	}
+	f.sbdTasks = kept
+}
+
+// noteSBBInsert tracks bogus inserts (oracle check) and registers the
+// PC as a probe candidate so the IAG scan can see it.
+func (f *FrontEnd) noteSBBInsert(sb core.ShadowBranch) {
+	in, ok := f.w.InstAt(sb.PC)
+	if !ok || in.Class != sb.Class {
+		f.stats.SBDBogusInserts++
+	}
+	la := program.LineAddr(sb.PC)
+	off := uint8(program.LineOffset(sb.PC))
+	for _, o := range f.w.BranchOffsets(la) {
+		if o == off {
+			return
+		}
+	}
+	for _, o := range f.extraOffs[la] {
+		if o == off {
+			return
+		}
+	}
+	// Insert keeping the list sorted.
+	lst := append(f.extraOffs[la], off)
+	for i := len(lst) - 1; i > 0 && lst[i-1] > lst[i]; i-- {
+		lst[i-1], lst[i] = lst[i], lst[i-1]
+	}
+	f.extraOffs[la] = lst
+}
+
+// lineResidency returns whether the line containing pc was resident
+// when blk was formed.
+func lineResidency(blk *Block, pc uint64) bool {
+	la := program.LineAddr(pc)
+	for _, lf := range blk.Lines {
+		if lf.Addr == la {
+			return lf.WasResident
+		}
+	}
+	return false
+}
+
+// countBTBMiss records a taken branch the BTB failed to identify.
+func (f *FrontEnd) countBTBMiss(blk *Block, in isa.Inst) {
+	switch in.Class {
+	case isa.ClassDirectCond:
+		f.stats.BTBMissCond++
+	case isa.ClassDirectUncond:
+		f.stats.BTBMissUncond++
+	case isa.ClassCall:
+		f.stats.BTBMissCall++
+	case isa.ClassReturn:
+		f.stats.BTBMissReturn++
+	case isa.ClassIndirect, isa.ClassIndirectCall:
+		f.stats.BTBMissIndirect++
+	}
+	if lineResidency(blk, in.PC) {
+		f.stats.BTBMissL1IHit++
+	}
+}
+
+// insertBTB installs the executed taken branch at decode.
+func (f *FrontEnd) insertBTB(in isa.Inst, target uint64) {
+	f.btb.Insert(in.PC, btb.Entry{Target: target, FallThrough: in.NextPC(), Class: in.Class})
+}
+
+// decode verifies up to max instructions of the predicted stream
+// against the true stream and returns how many true-path instructions
+// were delivered.
+func (f *FrontEnd) decode(max int) int {
+	if max > f.cfg.DecodeWidth {
+		max = f.cfg.DecodeWidth
+	}
+	delivered := 0
+	idle := func(resteer bool) {
+		if delivered == 0 {
+			f.stats.DecodeIdleCycles++
+			if resteer {
+				f.stats.DecodeIdleResteerCycles++
+			} else {
+				f.stats.DecodeIdleFetchCycles++
+			}
+		}
+	}
+	for delivered < max {
+		if f.done {
+			return delivered
+		}
+		if f.redir != nil {
+			idle(true)
+			return delivered
+		}
+		if f.cur == nil {
+			head, ok := f.q.Peek()
+			if !ok || head.ReadyAt > f.cycle {
+				idle(false)
+				return delivered
+			}
+			blk, _ := f.q.Pop()
+			st, ok := f.peek()
+			if !ok {
+				return delivered
+			}
+			// Accept the block if the next true instruction lies inside
+			// it. The true PC may be past blk.Start when the previous
+			// block's last instruction straddled the block boundary
+			// (fetch regions are byte ranges; decode carries over).
+			pc := st.Inst.PC
+			switch {
+			case pc < blk.Start:
+				// Stale block from before a squash; drop it.
+				continue
+			case blk.TakenPred && pc > blk.BranchPC:
+				// The straddling instruction swallowed the predicted
+				// terminator: the terminator entry is bogus.
+				f.cur = &blk
+				f.phantom(pc)
+				continue
+			case !blk.TakenPred && pc >= blk.End:
+				continue
+			}
+			f.cur = &blk
+			f.curPC = pc
+		}
+		st, ok := f.peek()
+		if !ok {
+			return delivered
+		}
+		in := st.Inst
+
+		// Phantom terminator: the predicted branch PC is not on the
+		// true instruction stream (next true boundary is past it).
+		if f.cur.TakenPred && in.PC > f.cur.BranchPC {
+			f.phantom(in.PC)
+			continue
+		}
+
+		// Deliver this instruction.
+		f.consume()
+		delivered++
+		f.stats.Decoded++
+
+		// True outcomes enter the architectural histories in program
+		// order; a re-steer restores the speculative histories from
+		// these.
+		if in.Class == isa.ClassDirectCond {
+			f.tg.ArchPush(st.Taken, in.PC)
+		}
+		if st.Taken {
+			f.stats.TakenBranches++
+			f.it.ArchPush(in.PC, st.NextPC)
+		}
+
+		if f.cur.TakenPred && in.PC == f.cur.BranchPC {
+			f.verifyTerminator(st)
+			continue
+		}
+		// Mid-block instruction.
+		f.verifyMidBlock(st)
+	}
+	return delivered
+}
+
+// phantom handles a predicted-taken terminator that does not exist on
+// the true path: a BTB alias or a bogus SBB entry. Decode detects it
+// and re-steers to truePC, the sequential continuation.
+func (f *FrontEnd) phantom(truePC uint64) {
+	f.stats.PhantomBranches++
+	if f.cur.ViaSBB {
+		f.stats.BogusSBBUsed++
+		if f.sbb != nil {
+			f.sbb.Invalidate(f.cur.BranchPC)
+		}
+	} else {
+		f.btb.Invalidate(f.cur.BranchPC)
+	}
+	f.cur = nil
+	f.scheduleRedirect(truePC, redirectDecode)
+}
+
+// verifyTerminator checks the true outcome of the block's predicted
+// terminator and ends, re-steers, or trains accordingly.
+func (f *FrontEnd) verifyTerminator(st emu.Step) {
+	blk := f.cur
+	in := st.Inst
+
+	// The terminator PC is a true boundary; the provider entry is only
+	// trustworthy if the true instruction has the predicted class.
+	// Mismatches come from bogus SBB entries or BTB partial-tag
+	// aliases: decode exposes them, invalidates the provider, and
+	// handles the true instruction as a freshly discovered branch.
+	if in.Class != blk.Class {
+		f.stats.PhantomBranches++
+		if blk.ViaSBB {
+			f.stats.BogusSBBUsed++
+			if f.sbb != nil {
+				f.sbb.Invalidate(blk.BranchPC)
+			}
+		} else {
+			f.btb.Invalidate(blk.BranchPC)
+		}
+		f.cur = nil
+		if st.Taken {
+			f.countBTBMiss(blk, in)
+			f.insertBTB(in, st.NextPC)
+			switch in.Class {
+			case isa.ClassIndirect, isa.ClassIndirectCall:
+				f.scheduleRedirect(st.NextPC, redirectExec)
+			case isa.ClassDirectCond:
+				pred := f.tg.Predict(in.PC)
+				f.tg.Update(in.PC, pred, true)
+				f.scheduleRedirect(st.NextPC, redirectDecode)
+			default:
+				f.scheduleRedirect(st.NextPC, redirectDecode)
+			}
+			return
+		}
+		if in.Class == isa.ClassDirectCond {
+			pred := f.tg.Predict(in.PC)
+			f.tg.Update(in.PC, pred, false)
+		}
+		f.scheduleRedirect(st.NextPC, redirectDecode)
+		return
+	}
+
+	// Train predictors with the truth.
+	switch in.Class {
+	case isa.ClassDirectCond:
+		f.tg.Update(in.PC, blk.TermCond, st.Taken)
+		if !st.Taken {
+			// Predicted taken, actually not taken: direction
+			// misprediction resolved at execute.
+			f.stats.CondMispredicts++
+			f.cur = nil
+			f.scheduleRedirect(st.NextPC, redirectExec)
+			return
+		}
+	case isa.ClassIndirect, isa.ClassIndirectCall:
+		f.it.Update(in.PC, blk.TermInd, st.NextPC)
+	}
+
+	// Record SBB coverage and BTB miss bookkeeping.
+	if blk.ViaSBB {
+		f.countBTBMiss(blk, in)
+		if in.Class == isa.ClassReturn {
+			f.stats.SBBCoveredR++
+		} else {
+			f.stats.SBBCoveredU++
+		}
+		if f.sbb != nil {
+			f.sbb.MarkRetired(in.PC, in.Class)
+		}
+		// The decoded branch also fills the BTB as usual.
+		f.insertBTB(in, st.NextPC)
+	}
+
+	if blk.Target == st.NextPC {
+		// Fully correct: move to the next block.
+		f.cur = nil
+		return
+	}
+
+	// Right branch, wrong target.
+	f.cur = nil
+	switch in.Class {
+	case isa.ClassDirectCond, isa.ClassDirectUncond, isa.ClassCall:
+		// The true target is encoded in the instruction: decode fixes
+		// it early and refreshes the stale entry.
+		f.stats.StaleBTBTarget++
+		f.insertBTB(in, st.NextPC)
+		f.scheduleRedirect(st.NextPC, redirectDecode)
+	case isa.ClassReturn:
+		f.stats.ReturnMispredicts++
+		f.scheduleRedirect(st.NextPC, redirectExec)
+	case isa.ClassIndirect, isa.ClassIndirectCall:
+		f.stats.IndirectMispredicts++
+		f.insertBTB(in, st.NextPC)
+		f.scheduleRedirect(st.NextPC, redirectExec)
+	}
+}
+
+// verifyMidBlock checks an instruction the IAG predicted to be
+// non-terminating (sequential, or a not-taken conditional).
+func (f *FrontEnd) verifyMidBlock(st emu.Step) {
+	blk := f.cur
+	in := st.Inst
+
+	// Train recorded not-taken conditional predictions.
+	for i := range blk.Conds {
+		if blk.Conds[i].PC == in.PC {
+			f.tg.Update(in.PC, blk.Conds[i].Pred, st.Taken)
+			if st.Taken {
+				// Identified, predicted not-taken, actually taken:
+				// direction misprediction, resolved at execute.
+				f.stats.CondMispredicts++
+				f.cur = nil
+				f.scheduleRedirect(st.NextPC, redirectExec)
+				return
+			}
+			f.advanceWithin(st)
+			return
+		}
+	}
+
+	if !st.Taken {
+		f.advanceWithin(st)
+		return
+	}
+
+	// A taken branch the IAG did not identify at all: the BTB (and SBB,
+	// if present) missed it. This is the event Skia attacks.
+	f.countBTBMiss(blk, in)
+	f.insertBTB(in, st.NextPC) // decode fills the BTB
+	f.cur = nil
+	switch in.Class {
+	case isa.ClassDirectUncond, isa.ClassCall:
+		// Target computable at decode: early re-steer.
+		f.scheduleRedirect(st.NextPC, redirectDecode)
+	case isa.ClassReturn:
+		// Decode sees the return and consults the RAS; model the
+		// common case of a correct RAS repair as an early re-steer.
+		f.scheduleRedirect(st.NextPC, redirectDecode)
+	case isa.ClassDirectCond:
+		// Decode discovers the conditional and asks TAGE late.
+		pred := f.tg.Predict(in.PC)
+		f.tg.Update(in.PC, pred, true)
+		if pred.Taken {
+			f.scheduleRedirect(st.NextPC, redirectDecode)
+		} else {
+			f.stats.CondMispredicts++
+			f.scheduleRedirect(st.NextPC, redirectExec)
+		}
+	case isa.ClassIndirect, isa.ClassIndirectCall:
+		// Target needs execution.
+		f.scheduleRedirect(st.NextPC, redirectExec)
+	}
+}
+
+// advanceWithin moves the in-block cursor past a correctly handled
+// non-terminating instruction, closing fall-through blocks at their
+// end.
+func (f *FrontEnd) advanceWithin(st emu.Step) {
+	f.curPC = st.NextPC
+	if !f.cur.TakenPred && f.curPC >= f.cur.End {
+		f.cur = nil
+	}
+}

@@ -1,0 +1,87 @@
+// Package ftq provides the Fetch Target Queue: the bounded FIFO that
+// decouples the Instruction Address Generator from the Instruction
+// Fetch Unit in an FDIP front-end (paper Section 2.1). Each element is
+// one predicted basic block; the queue's depth (paper: 24) bounds how
+// far the BPU can run ahead of fetch.
+//
+// The queue is generic so the front-end can store its own block type
+// while tests exercise the container in isolation.
+package ftq
+
+// Queue is a bounded FIFO ring buffer. The zero value is unusable; use
+// New. Not safe for concurrent use.
+type Queue[T any] struct {
+	buf   []T
+	head  int
+	count int
+}
+
+// New returns an empty queue with the given capacity (minimum 1).
+func New[T any](capacity int) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue[T]{buf: make([]T, capacity)}
+}
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int { return q.count }
+
+// Cap returns the capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Full reports whether the queue is at capacity.
+func (q *Queue[T]) Full() bool { return q.count == len(q.buf) }
+
+// Empty reports whether the queue has no elements.
+func (q *Queue[T]) Empty() bool { return q.count == 0 }
+
+// Push appends an element; it reports false when the queue is full.
+func (q *Queue[T]) Push(v T) bool {
+	if q.Full() {
+		return false
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = v
+	q.count++
+	return true
+}
+
+// Peek returns the oldest element without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if q.count == 0 {
+		return zero, false
+	}
+	return q.buf[q.head], true
+}
+
+// Pop removes and returns the oldest element.
+func (q *Queue[T]) Pop() (T, bool) {
+	var zero T
+	if q.count == 0 {
+		return zero, false
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero // release references
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return v, true
+}
+
+// Flush discards every element (a pipeline squash).
+func (q *Queue[T]) Flush() {
+	var zero T
+	for i := 0; i < q.count; i++ {
+		q.buf[(q.head+i)%len(q.buf)] = zero
+	}
+	q.head, q.count = 0, 0
+}
+
+// At returns the i-th oldest element (0 = front) for inspection.
+func (q *Queue[T]) At(i int) (T, bool) {
+	var zero T
+	if i < 0 || i >= q.count {
+		return zero, false
+	}
+	return q.buf[(q.head+i)%len(q.buf)], true
+}

@@ -1,0 +1,106 @@
+package ftq
+
+import "testing"
+
+func TestPushPopFIFO(t *testing.T) {
+	q := New[int](4)
+	for i := 1; i <= 4; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if q.Push(5) {
+		t.Error("push into full queue succeeded")
+	}
+	if !q.Full() || q.Len() != 4 {
+		t.Errorf("len=%d full=%v", q.Len(), q.Full())
+	}
+	for i := 1; i <= 4; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("pop from empty succeeded")
+	}
+}
+
+func TestPeek(t *testing.T) {
+	q := New[string](2)
+	if _, ok := q.Peek(); ok {
+		t.Error("peek on empty")
+	}
+	q.Push("a")
+	q.Push("b")
+	if v, ok := q.Peek(); !ok || v != "a" {
+		t.Errorf("peek = %q,%v", v, ok)
+	}
+	if q.Len() != 2 {
+		t.Error("peek consumed")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := New[int](3)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if !q.Push(round*10 + i) {
+				t.Fatal("push failed")
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.Pop()
+			if !ok || v != round*10+i {
+				t.Fatalf("round %d: pop = %d,%v", round, v, ok)
+			}
+		}
+	}
+}
+
+func TestFlush(t *testing.T) {
+	q := New[int](8)
+	for i := 0; i < 5; i++ {
+		q.Push(i)
+	}
+	q.Flush()
+	if !q.Empty() || q.Len() != 0 {
+		t.Error("flush left elements")
+	}
+	// Usable after flush.
+	q.Push(99)
+	if v, _ := q.Pop(); v != 99 {
+		t.Error("queue broken after flush")
+	}
+}
+
+func TestAt(t *testing.T) {
+	q := New[int](4)
+	q.Push(10)
+	q.Push(20)
+	q.Pop()
+	q.Push(30)
+	if v, ok := q.At(0); !ok || v != 20 {
+		t.Errorf("At(0) = %d,%v", v, ok)
+	}
+	if v, ok := q.At(1); !ok || v != 30 {
+		t.Errorf("At(1) = %d,%v", v, ok)
+	}
+	if _, ok := q.At(2); ok {
+		t.Error("At past end")
+	}
+	if _, ok := q.At(-1); ok {
+		t.Error("At(-1)")
+	}
+}
+
+func TestMinCapacity(t *testing.T) {
+	q := New[int](0)
+	if q.Cap() != 1 {
+		t.Errorf("cap = %d", q.Cap())
+	}
+	q.Push(1)
+	if q.Push(2) {
+		t.Error("capacity-1 queue accepted two")
+	}
+}

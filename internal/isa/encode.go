@@ -1,0 +1,196 @@
+package isa
+
+import "fmt"
+
+// Asm is an append-only instruction encoder. It exists for the program
+// builder (internal/program): workload synthesis emits real VLX bytes so
+// that cache lines physically contain shadow branches. The zero value is
+// ready to use.
+type Asm struct {
+	buf []byte
+}
+
+// Bytes returns the encoded byte stream. The returned slice aliases the
+// encoder's buffer.
+func (a *Asm) Bytes() []byte { return a.buf }
+
+// Len returns the current length of the encoded stream in bytes.
+func (a *Asm) Len() int { return len(a.buf) }
+
+// Reset discards all encoded bytes.
+func (a *Asm) Reset() { a.buf = a.buf[:0] }
+
+func (a *Asm) emit(bs ...byte) { a.buf = append(a.buf, bs...) }
+
+func (a *Asm) emit32(v int32) {
+	a.emit(byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// modByte builds a mod byte from its three fields.
+func modByte(mod int, reg, rm uint8) byte {
+	return byte(mod)<<6 | (reg&7)<<3 | (rm & 7)
+}
+
+// Nop emits a NOP of exactly n bytes, 1 <= n <= 9. VLX composes long NOPs
+// from the two-byte 0F 1F escape plus mod/displacement bytes and
+// prefixes, just as x86 does; this is what lets the workload generator
+// pad blocks to arbitrary alignments while keeping every byte decodable.
+func (a *Asm) Nop(n int) {
+	switch {
+	case n <= 0:
+		return
+	case n == 1:
+		a.emit(0x90)
+	case n == 2:
+		a.emit(PrefixOpSize, 0x90)
+	case n == 3:
+		a.emit(0x0F, 0x1F, modByte(modRegReg, 0, 0))
+	case n == 4:
+		a.emit(0x0F, 0x1F, modByte(modDisp8, 0, 0), 0x00)
+	case n == 5:
+		a.emit(PrefixOpSize, 0x0F, 0x1F, modByte(modDisp8, 0, 0), 0x00)
+	case n == 6:
+		a.emit(PrefixOpSize, PrefixAddrSize, 0x0F, 0x1F, modByte(modDisp8, 0, 0), 0x00)
+	case n == 7:
+		a.emit(0x0F, 0x1F, modByte(modDisp32, 0, 0), 0x00, 0x00, 0x00, 0x00)
+	case n == 8:
+		a.emit(PrefixOpSize, 0x0F, 0x1F, modByte(modDisp32, 0, 0), 0x00, 0x00, 0x00, 0x00)
+	case n >= 9:
+		a.emit(PrefixOpSize, PrefixAddrSize, 0x0F, 0x1F, modByte(modDisp32, 0, 0), 0x00, 0x00, 0x00, 0x00)
+		a.Nop(n - 9)
+	}
+}
+
+// ALUReg emits a 2-byte register/register ALU op. kind selects among the
+// six encodable opcode bytes for byte-stream diversity.
+func (a *Asm) ALUReg(kind int, dst, src uint8) {
+	ops := [...]byte{0x01, 0x09, 0x21, 0x29, 0x31}
+	a.emit(ops[kind%len(ops)], modByte(modRegOnly, src, dst))
+}
+
+// Cmp emits a 2-byte compare (sets condition state for a following Jcc).
+func (a *Asm) Cmp(rA, rB uint8) { a.emit(0x39, modByte(modRegOnly, rB, rA)) }
+
+// Test emits a 2-byte test.
+func (a *Asm) Test(rA, rB uint8) { a.emit(0x85, modByte(modRegOnly, rB, rA)) }
+
+// ALUImm8 emits a 3-byte ALU with an 8-bit immediate.
+func (a *Asm) ALUImm8(dst uint8, imm int8) {
+	a.emit(0x83, modByte(modRegOnly, 0, dst), byte(imm))
+}
+
+// ALUImm32 emits a 6-byte ALU with a 32-bit immediate.
+func (a *Asm) ALUImm32(dst uint8, imm int32) {
+	a.emit(0x81, modByte(modRegOnly, 0, dst))
+	a.emit32(imm)
+}
+
+// MovImm8 emits a 2-byte move-immediate.
+func (a *Asm) MovImm8(dst uint8, imm int8) { a.emit(0xB0|dst&7, byte(imm)) }
+
+// MovImm32 emits a 5-byte move-immediate. Note the 4 immediate bytes can
+// alias any opcode, which is the root of head-shadow-decoding ambiguity.
+func (a *Asm) MovImm32(dst uint8, imm int32) {
+	a.emit(0xB8 | dst&7)
+	a.emit32(imm)
+}
+
+// Load emits a load of reg from [base+disp]; 3 bytes with disp8, 6 with
+// disp32.
+func (a *Asm) Load(reg, base uint8, disp int32) {
+	if disp >= -128 && disp <= 127 {
+		a.emit(0x8B, modByte(modDisp8, reg, base), byte(disp))
+		return
+	}
+	a.emit(0x8B, modByte(modDisp32, reg, base))
+	a.emit32(disp)
+}
+
+// Store emits a store of reg to [base+disp]; 3 bytes with disp8, 6 with
+// disp32.
+func (a *Asm) Store(reg, base uint8, disp int32) {
+	if disp >= -128 && disp <= 127 {
+		a.emit(0x89, modByte(modDisp8, reg, base), byte(disp))
+		return
+	}
+	a.emit(0x89, modByte(modDisp32, reg, base))
+	a.emit32(disp)
+}
+
+// Lea emits a 3-byte address computation.
+func (a *Asm) Lea(dst, base uint8, disp int8) {
+	a.emit(0x8D, modByte(modDisp8, dst, base), byte(disp))
+}
+
+// Push emits a 1-byte push.
+func (a *Asm) Push(reg uint8) { a.emit(0x50 | reg&7) }
+
+// Pop emits a 1-byte pop.
+func (a *Asm) Pop(reg uint8) { a.emit(0x58 | reg&7) }
+
+// IncDec emits a 1-byte increment (dec=false) or decrement (dec=true).
+func (a *Asm) IncDec(reg uint8, dec bool) {
+	op := byte(0x40)
+	if dec {
+		op = 0x48
+	}
+	a.emit(op | reg&7)
+}
+
+// JccRel8 emits a 2-byte conditional jump with condition code cc (0-15).
+func (a *Asm) JccRel8(cc uint8, off int8) { a.emit(0x70|cc&0xF, byte(off)) }
+
+// JccRel32 emits a 6-byte conditional jump.
+func (a *Asm) JccRel32(cc uint8, off int32) {
+	a.emit(0x0F, 0x80|cc&0xF)
+	a.emit32(off)
+}
+
+// JmpRel8 emits a 2-byte unconditional jump.
+func (a *Asm) JmpRel8(off int8) { a.emit(0xEB, byte(off)) }
+
+// JmpRel32 emits a 5-byte unconditional jump.
+func (a *Asm) JmpRel32(off int32) {
+	a.emit(0xE9)
+	a.emit32(off)
+}
+
+// CallRel32 emits a 5-byte direct call.
+func (a *Asm) CallRel32(off int32) {
+	a.emit(0xE8)
+	a.emit32(off)
+}
+
+// Ret emits a 1-byte return.
+func (a *Asm) Ret() { a.emit(0xC3) }
+
+// RetImm emits a 3-byte return with stack adjustment.
+func (a *Asm) RetImm(n int16) { a.emit(0xC2, byte(n), byte(n>>8)) }
+
+// JmpInd emits a 2-byte indirect jump through reg.
+func (a *Asm) JmpInd(reg uint8) { a.emit(0xFF, modByte(modRegOnly, 4, reg)) }
+
+// CallInd emits a 2-byte indirect call through reg.
+func (a *Asm) CallInd(reg uint8) { a.emit(0xFF, modByte(modRegOnly, 2, reg)) }
+
+// Halt emits the 1-byte emulator stop instruction.
+func (a *Asm) Halt() { a.emit(0xF4) }
+
+// PatchRel32 rewrites the 32-bit little-endian relocation field of a
+// branch whose *last four* encoded bytes sit at [pos, pos+4). The program
+// builder uses it to fix up forward references once layout is final. It
+// panics if pos is out of range, since that is a builder bug.
+func (a *Asm) PatchRel32(pos int, v int32) {
+	if pos < 0 || pos+4 > len(a.buf) {
+		panic(fmt.Sprintf("isa: PatchRel32 out of range: pos=%d len=%d", pos, len(a.buf)))
+	}
+	a.buf[pos] = byte(v)
+	a.buf[pos+1] = byte(v >> 8)
+	a.buf[pos+2] = byte(v >> 16)
+	a.buf[pos+3] = byte(v >> 24)
+}
+
+// FixedLenSizes lists the encodable byte sizes for common filler
+// instruction families, used by the workload generator to reach target
+// basic-block sizes with varied, realistic byte streams.
+var FixedLenSizes = []int{1, 2, 3, 5, 6}

@@ -1,0 +1,504 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func decodeOne(t *testing.T, bs []byte) Inst {
+	t.Helper()
+	in, err := Decode(bs, 0x1000)
+	if err != nil {
+		t.Fatalf("Decode(% x): %v", bs, err)
+	}
+	return in
+}
+
+func TestDecodeNop(t *testing.T) {
+	in := decodeOne(t, []byte{0x90})
+	if in.Op != OpNop || in.Len != 1 || in.Class != ClassSeq {
+		t.Errorf("got %+v", in)
+	}
+}
+
+func TestNopAllLengths(t *testing.T) {
+	var a Asm
+	for n := 1; n <= 14; n++ {
+		a.Reset()
+		a.Nop(n)
+		if a.Len() != n {
+			t.Fatalf("Nop(%d) emitted %d bytes", n, a.Len())
+		}
+		// The emitted bytes must decode as a sequence of NOPs covering
+		// exactly n bytes.
+		off := 0
+		for off < n {
+			in, err := Decode(a.Bytes()[off:], uint64(off))
+			if err != nil {
+				t.Fatalf("Nop(%d): decode at %d: %v", n, off, err)
+			}
+			if in.Op != OpNop {
+				t.Fatalf("Nop(%d): got op %v at %d", n, in.Op, off)
+			}
+			off += int(in.Len)
+		}
+		if off != n {
+			t.Fatalf("Nop(%d): instructions cover %d bytes", n, off)
+		}
+	}
+}
+
+func TestDecodeBranches(t *testing.T) {
+	cases := []struct {
+		name   string
+		emit   func(a *Asm)
+		op     Op
+		class  Class
+		length uint8
+		relOff int32
+	}{
+		{"jcc8", func(a *Asm) { a.JccRel8(3, -10) }, OpJcc, ClassDirectCond, 2, -10},
+		{"jcc32", func(a *Asm) { a.JccRel32(7, 0x1234) }, OpJcc, ClassDirectCond, 6, 0x1234},
+		{"jmp8", func(a *Asm) { a.JmpRel8(20) }, OpJmp, ClassDirectUncond, 2, 20},
+		{"jmp32", func(a *Asm) { a.JmpRel32(-0x4000) }, OpJmp, ClassDirectUncond, 5, -0x4000},
+		{"call", func(a *Asm) { a.CallRel32(0x999) }, OpCall, ClassCall, 5, 0x999},
+		{"ret", func(a *Asm) { a.Ret() }, OpRet, ClassReturn, 1, 0},
+		{"retimm", func(a *Asm) { a.RetImm(16) }, OpRet, ClassReturn, 3, 0},
+		{"jmpind", func(a *Asm) { a.JmpInd(5) }, OpJmpInd, ClassIndirect, 2, 0},
+		{"callind", func(a *Asm) { a.CallInd(2) }, OpCallInd, ClassIndirectCall, 2, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var a Asm
+			tc.emit(&a)
+			in := decodeOne(t, a.Bytes())
+			if in.Op != tc.op {
+				t.Errorf("op = %v, want %v", in.Op, tc.op)
+			}
+			if in.Class != tc.class {
+				t.Errorf("class = %v, want %v", in.Class, tc.class)
+			}
+			if in.Len != tc.length {
+				t.Errorf("len = %d, want %d", in.Len, tc.length)
+			}
+			if in.RelOff != tc.relOff {
+				t.Errorf("reloff = %d, want %d", in.RelOff, tc.relOff)
+			}
+		})
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	var a Asm
+	a.JmpRel32(0x100)
+	in, err := Decode(a.Bytes(), 0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, ok := in.BranchTarget()
+	if !ok {
+		t.Fatal("direct jump should have a static target")
+	}
+	if want := uint64(0x2000 + 5 + 0x100); tgt != want {
+		t.Errorf("target = %#x, want %#x", tgt, want)
+	}
+
+	a.Reset()
+	a.Ret()
+	in, err = Decode(a.Bytes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := in.BranchTarget(); ok {
+		t.Error("return must not have a static target")
+	}
+}
+
+func TestBranchTargetBackward(t *testing.T) {
+	var a Asm
+	a.JmpRel8(-16)
+	in, err := Decode(a.Bytes(), 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, ok := in.BranchTarget()
+	if !ok || tgt != 0x100+2-16 {
+		t.Errorf("target = %#x ok=%v, want %#x", tgt, ok, 0x100+2-16)
+	}
+}
+
+func TestDecodePrefixes(t *testing.T) {
+	bs := []byte{PrefixOpSize, PrefixLock, 0x90}
+	in := decodeOne(t, bs)
+	if in.Len != 3 || in.NumPrefixes != 2 || in.Op != OpNop {
+		t.Errorf("got %+v", in)
+	}
+}
+
+func TestDecodeTooManyPrefixes(t *testing.T) {
+	bs := []byte{0x66, 0x67, 0xF0, 0x66, 0x90}
+	if _, err := Decode(bs, 0); err == nil {
+		t.Error("expected error for 4 prefixes")
+	}
+}
+
+func TestDecodeUndefined(t *testing.T) {
+	for _, b := range []byte{0x06, 0x27, 0x60, 0xD4, 0xF5, 0x9A, 0xCE} {
+		if _, err := Decode([]byte{b, 0, 0, 0, 0, 0}, 0); err == nil {
+			t.Errorf("byte %#02x should not decode", b)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	var a Asm
+	a.JmpRel32(0x1000)
+	full := a.Bytes()
+	for n := 1; n < len(full); n++ {
+		if _, err := Decode(full[:n], 0); err == nil {
+			t.Errorf("truncated jmp of %d bytes decoded", n)
+		}
+	}
+	if _, err := Decode(nil, 0); err == nil {
+		t.Error("empty decode should fail")
+	}
+}
+
+func TestDecodeIndirectUndefinedExtension(t *testing.T) {
+	// FF with reg field other than 2 or 4 is undefined.
+	for reg := uint8(0); reg < 8; reg++ {
+		bs := []byte{0xFF, modByte(modRegOnly, reg, 0)}
+		_, err := Decode(bs, 0)
+		if reg == 2 || reg == 4 {
+			if err != nil {
+				t.Errorf("FF /%d should decode: %v", reg, err)
+			}
+		} else if err == nil {
+			t.Errorf("FF /%d should not decode", reg)
+		}
+	}
+}
+
+func TestLengthAt(t *testing.T) {
+	var a Asm
+	a.MovImm32(1, 0x11223344) // 5 bytes
+	a.Ret()                   // 1 byte
+	bs := a.Bytes()
+	if got := LengthAt(bs, 0); got != 5 {
+		t.Errorf("LengthAt(0) = %d, want 5", got)
+	}
+	if got := LengthAt(bs, 5); got != 1 {
+		t.Errorf("LengthAt(5) = %d, want 1", got)
+	}
+	if got := LengthAt(bs, 99); got != 0 {
+		t.Errorf("LengthAt(out of range) = %d, want 0", got)
+	}
+	if got := LengthAt(bs, -1); got != 0 {
+		t.Errorf("LengthAt(-1) = %d, want 0", got)
+	}
+}
+
+// TestEncodeDecodeRoundTrip drives every encoder method and checks that
+// decoding reproduces the expected op, class and length.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	type want struct {
+		op  Op
+		cls Class
+	}
+	emits := []struct {
+		name string
+		do   func(a *Asm)
+		want want
+	}{
+		{"alu", func(a *Asm) { a.ALUReg(2, 3, 4) }, want{OpALUReg, ClassSeq}},
+		{"cmp", func(a *Asm) { a.Cmp(1, 2) }, want{OpTest, ClassSeq}},
+		{"test", func(a *Asm) { a.Test(1, 2) }, want{OpTest, ClassSeq}},
+		{"aluimm8", func(a *Asm) { a.ALUImm8(1, -5) }, want{OpALUImm, ClassSeq}},
+		{"aluimm32", func(a *Asm) { a.ALUImm32(1, 1<<20) }, want{OpALUImm, ClassSeq}},
+		{"movimm8", func(a *Asm) { a.MovImm8(7, 9) }, want{OpMovImm, ClassSeq}},
+		{"movimm32", func(a *Asm) { a.MovImm32(0, -1) }, want{OpMovImm, ClassSeq}},
+		{"load8", func(a *Asm) { a.Load(1, 2, 8) }, want{OpLoad, ClassSeq}},
+		{"load32", func(a *Asm) { a.Load(1, 2, 4096) }, want{OpLoad, ClassSeq}},
+		{"store8", func(a *Asm) { a.Store(1, 2, -8) }, want{OpStore, ClassSeq}},
+		{"store32", func(a *Asm) { a.Store(1, 2, -4096) }, want{OpStore, ClassSeq}},
+		{"lea", func(a *Asm) { a.Lea(3, 4, 16) }, want{OpLea, ClassSeq}},
+		{"push", func(a *Asm) { a.Push(6) }, want{OpPush, ClassSeq}},
+		{"pop", func(a *Asm) { a.Pop(6) }, want{OpPop, ClassSeq}},
+		{"inc", func(a *Asm) { a.IncDec(1, false) }, want{OpIncDec, ClassSeq}},
+		{"dec", func(a *Asm) { a.IncDec(1, true) }, want{OpIncDec, ClassSeq}},
+		{"halt", func(a *Asm) { a.Halt() }, want{OpHalt, ClassSeq}},
+	}
+	for _, e := range emits {
+		t.Run(e.name, func(t *testing.T) {
+			var a Asm
+			e.do(&a)
+			in := decodeOne(t, a.Bytes())
+			if in.Op != e.want.op || in.Class != e.want.cls {
+				t.Errorf("got op=%v class=%v, want op=%v class=%v", in.Op, in.Class, e.want.op, e.want.cls)
+			}
+			if int(in.Len) != a.Len() {
+				t.Errorf("decoded len %d != emitted len %d", in.Len, a.Len())
+			}
+		})
+	}
+}
+
+// TestDecodeNeverPanicsOrOverruns: property — Decode on arbitrary bytes
+// either fails or returns a length within [1, MaxInstLen] that does not
+// exceed the input.
+func TestDecodeNeverPanicsOrOverruns(t *testing.T) {
+	f := func(bs []byte) bool {
+		in, err := Decode(bs, 0)
+		if err != nil {
+			return true
+		}
+		return in.Len >= 1 && int(in.Len) <= len(bs) && in.Len <= MaxInstLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLengthAtMatchesDecode: property — LengthAt agrees with Decode for
+// random byte streams at random offsets.
+func TestLengthAtMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		bs := make([]byte, 1+rng.Intn(32))
+		rng.Read(bs)
+		off := rng.Intn(len(bs))
+		got := LengthAt(bs, off)
+		in, err := Decode(bs[off:], 0)
+		if err != nil {
+			if got != 0 {
+				t.Fatalf("LengthAt=%d but Decode failed for % x @%d", got, bs, off)
+			}
+			continue
+		}
+		if got != int(in.Len) {
+			t.Fatalf("LengthAt=%d, Decode len=%d for % x @%d", got, in.Len, bs, off)
+		}
+	}
+}
+
+// TestDecodeDeterministic: property — Decode is a pure function of its
+// inputs.
+func TestDecodeDeterministic(t *testing.T) {
+	f := func(bs []byte, pc uint64) bool {
+		a, errA := Decode(bs, pc)
+		b, errB := Decode(bs, pc)
+		if (errA == nil) != (errB == nil) {
+			return false
+		}
+		if errA != nil {
+			return true
+		}
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShadowEligible(t *testing.T) {
+	eligible := map[Class]bool{
+		ClassSeq:          false,
+		ClassDirectCond:   false,
+		ClassDirectUncond: true,
+		ClassCall:         true,
+		ClassReturn:       true,
+		ClassIndirect:     false,
+		ClassIndirectCall: false,
+	}
+	for c, want := range eligible {
+		if got := c.IsShadowEligible(); got != want {
+			t.Errorf("%v.IsShadowEligible() = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestIsBranch(t *testing.T) {
+	if ClassSeq.IsBranch() {
+		t.Error("Seq is not a branch")
+	}
+	for _, c := range []Class{ClassDirectCond, ClassDirectUncond, ClassCall, ClassReturn, ClassIndirect, ClassIndirectCall} {
+		if !c.IsBranch() {
+			t.Errorf("%v should be a branch", c)
+		}
+	}
+}
+
+func TestClassAndOpStrings(t *testing.T) {
+	// Exercise the Stringers over every defined value so a new enum
+	// entry without a name shows up as a test failure.
+	for c := ClassSeq; c <= ClassIndirectCall; c++ {
+		if s := c.String(); s == "" || s[0] == 'C' && s != "Call" {
+			t.Errorf("Class(%d).String() = %q", c, s)
+		}
+	}
+	for o := OpInvalid; o <= OpSysEnter; o++ {
+		if s := o.String(); s == "" {
+			t.Errorf("Op(%d).String() is empty", o)
+		}
+	}
+}
+
+func TestDisassembleCoverage(t *testing.T) {
+	var progs []func(a *Asm)
+	progs = append(progs,
+		func(a *Asm) { a.JccRel8(1, 5) },
+		func(a *Asm) { a.JmpRel32(64) },
+		func(a *Asm) { a.CallRel32(128) },
+		func(a *Asm) { a.Ret() },
+		func(a *Asm) { a.RetImm(8) },
+		func(a *Asm) { a.JmpInd(3) },
+		func(a *Asm) { a.CallInd(3) },
+		func(a *Asm) { a.MovImm32(2, 7) },
+		func(a *Asm) { a.ALUReg(0, 1, 2) },
+		func(a *Asm) { a.ALUImm8(1, 3) },
+		func(a *Asm) { a.Load(1, 2, 4) },
+		func(a *Asm) { a.Store(1, 2, 4) },
+		func(a *Asm) { a.Lea(1, 2, 4) },
+		func(a *Asm) { a.Push(1) },
+		func(a *Asm) { a.Pop(1) },
+		func(a *Asm) { a.IncDec(1, false) },
+		func(a *Asm) { a.Test(1, 2) },
+		func(a *Asm) { a.Nop(1) },
+		func(a *Asm) { a.Halt() },
+	)
+	for i, p := range progs {
+		var a Asm
+		p(&a)
+		in, err := Decode(a.Bytes(), 0)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if s := Disassemble(in); s == "" || s == "invalid" {
+			t.Errorf("case %d: Disassemble = %q", i, s)
+		}
+	}
+}
+
+func TestPatchRel32(t *testing.T) {
+	var a Asm
+	a.JmpRel32(0)
+	a.PatchRel32(1, 0x11223344)
+	in := decodeOne(t, a.Bytes())
+	if in.RelOff != 0x11223344 {
+		t.Errorf("patched reloff = %#x", in.RelOff)
+	}
+}
+
+func TestPatchRel32OutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	var a Asm
+	a.Ret()
+	a.PatchRel32(0, 1)
+}
+
+func TestDecodeErrorMessage(t *testing.T) {
+	_, err := Decode([]byte{0x06}, 0xdead)
+	de, ok := err.(*DecodeError)
+	if !ok {
+		t.Fatalf("want *DecodeError, got %T", err)
+	}
+	if de.PC != 0xdead || de.Byte != 0x06 {
+		t.Errorf("got %+v", de)
+	}
+	if de.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+// TestInstructionStreamSelfConsistency encodes a random but valid
+// instruction stream and verifies sequential decode recovers exactly the
+// same boundaries (a fundamental invariant the program builder and
+// emulator rely on).
+func TestInstructionStreamSelfConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a Asm
+	var wantLens []int
+	for i := 0; i < 500; i++ {
+		before := a.Len()
+		switch rng.Intn(10) {
+		case 0:
+			a.Nop(1 + rng.Intn(9))
+		case 1:
+			a.ALUReg(rng.Intn(5), uint8(rng.Intn(8)), uint8(rng.Intn(8)))
+		case 2:
+			a.MovImm32(uint8(rng.Intn(8)), rng.Int31())
+		case 3:
+			a.Load(uint8(rng.Intn(8)), uint8(rng.Intn(8)), rng.Int31n(8192)-4096)
+		case 4:
+			a.Store(uint8(rng.Intn(8)), uint8(rng.Intn(8)), rng.Int31n(256)-128)
+		case 5:
+			a.JccRel8(uint8(rng.Intn(16)), int8(rng.Intn(100)))
+		case 6:
+			a.CallRel32(rng.Int31())
+		case 7:
+			a.Push(uint8(rng.Intn(8)))
+		case 8:
+			a.ALUImm32(uint8(rng.Intn(8)), rng.Int31())
+		case 9:
+			a.Lea(uint8(rng.Intn(8)), uint8(rng.Intn(8)), int8(rng.Intn(100)))
+		}
+		wantLens = append(wantLens, a.Len()-before)
+	}
+	bs := a.Bytes()
+	off := 0
+	for i, want := range wantLens {
+		// Nop() may emit several instructions; walk them all.
+		covered := 0
+		for covered < want {
+			in, err := Decode(bs[off+covered:], uint64(off+covered))
+			if err != nil {
+				t.Fatalf("inst %d: decode at %d: %v", i, off+covered, err)
+			}
+			covered += int(in.Len)
+		}
+		if covered != want {
+			t.Fatalf("inst %d: covered %d bytes, want %d", i, covered, want)
+		}
+		off += want
+	}
+	if off != len(bs) {
+		t.Fatalf("covered %d of %d bytes", off, len(bs))
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	var a Asm
+	a.MovImm32(1, 42)
+	a.Load(2, 1, 64)
+	a.ALUReg(0, 1, 2)
+	a.JccRel8(4, -12)
+	bs := a.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := 0
+		for off < len(bs) {
+			in, err := Decode(bs[off:], uint64(off))
+			if err != nil {
+				b.Fatal(err)
+			}
+			off += int(in.Len)
+		}
+	}
+}
+
+func BenchmarkLengthAt(b *testing.B) {
+	var a Asm
+	for i := 0; i < 16; i++ {
+		a.MovImm32(uint8(i&7), int32(i))
+	}
+	bs := a.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LengthAt(bs, i%len(bs))
+	}
+}

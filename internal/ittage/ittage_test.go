@@ -1,0 +1,179 @@
+package ittage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func smallConfig() Config {
+	return Config{NumTables: 5, LogBase: 9, LogTagged: 8, TagBits: 10, MinHist: 4, MaxHist: 64}
+}
+
+func TestMonomorphicSite(t *testing.T) {
+	p := New(smallConfig())
+	const target = 0xBEEF00
+	misses := 0
+	for i := 0; i < 1000; i++ {
+		pred := p.Predict(0x500)
+		if i > 100 && (!pred.Valid || pred.Target != target) {
+			misses++
+		}
+		p.Update(0x500, pred, target)
+		p.ArchPush(0x500, target)
+		p.SyncSpec()
+	}
+	if misses != 0 {
+		t.Errorf("monomorphic site missed %d times after warmup", misses)
+	}
+}
+
+func TestRoundRobinTargets(t *testing.T) {
+	// A site rotating among 4 targets: the rotation is visible in path
+	// history (each target pushes a distinguishable bit pattern), so
+	// ITTAGE should learn it well.
+	p := New(smallConfig())
+	targets := []uint64{0x1000, 0x2010, 0x3020, 0x4030}
+	misses, measured := 0, 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		actual := targets[i%len(targets)]
+		pred := p.Predict(0x700)
+		if i > n/2 {
+			measured++
+			if !pred.Valid || pred.Target != actual {
+				misses++
+			}
+		}
+		p.Update(0x700, pred, actual)
+		p.ArchPush(0x700, actual)
+		p.SyncSpec()
+	}
+	rate := float64(misses) / float64(measured)
+	if rate > 0.15 {
+		t.Errorf("round-robin mispredict rate %.3f", rate)
+	}
+}
+
+func TestMegamorphicSiteIsHard(t *testing.T) {
+	p := New(smallConfig())
+	rng := rand.New(rand.NewSource(3))
+	targets := make([]uint64, 16)
+	for i := range targets {
+		targets[i] = uint64(0x1000 + i*64)
+	}
+	misses, measured := 0, 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		actual := targets[rng.Intn(len(targets))]
+		pred := p.Predict(0x900)
+		if i > n/2 {
+			measured++
+			if !pred.Valid || pred.Target != actual {
+				misses++
+			}
+		}
+		p.Update(0x900, pred, actual)
+		p.ArchPush(0x900, actual)
+		p.SyncSpec()
+	}
+	rate := float64(misses) / float64(measured)
+	if rate < 0.5 {
+		t.Errorf("random 16-way site predicted too well: %.3f", rate)
+	}
+}
+
+func TestNoPredictionBeforeTraining(t *testing.T) {
+	p := New(smallConfig())
+	pred := p.Predict(0x123)
+	if pred.Valid {
+		t.Error("untrained predictor should not predict")
+	}
+	p.Update(0x123, pred, 0x5555)
+	if p.Stats().NoPrediction != 1 {
+		t.Errorf("NoPrediction = %d", p.Stats().NoPrediction)
+	}
+	pred = p.Predict(0x123)
+	if !pred.Valid || pred.Target != 0x5555 {
+		t.Errorf("after one update: %+v", pred)
+	}
+}
+
+func TestPredictIsPure(t *testing.T) {
+	p := New(smallConfig())
+	for i := 0; i < 50; i++ {
+		pred := p.Predict(0x40)
+		p.Update(0x40, pred, 0x1234)
+		p.ArchPush(0x40, 0x1234)
+		p.SyncSpec()
+	}
+	a := p.Predict(0x40)
+	for i := 0; i < 100; i++ {
+		p.Predict(uint64(i * 8))
+	}
+	b := p.Predict(0x40)
+	if a != b {
+		t.Error("Predict mutated state")
+	}
+}
+
+func TestTwoSitesDoNotDestroyEachOther(t *testing.T) {
+	p := New(smallConfig())
+	missesA, missesB := 0, 0
+	for i := 0; i < 4000; i++ {
+		predA := p.Predict(0x100)
+		if i > 500 && predA.Target != 0xAAA0 {
+			missesA++
+		}
+		p.Update(0x100, predA, 0xAAA0)
+		p.ArchPush(0x100, 0xAAA0)
+		p.SyncSpec()
+
+		predB := p.Predict(0x2000)
+		if i > 500 && predB.Target != 0xBBB0 {
+			missesB++
+		}
+		p.Update(0x2000, predB, 0xBBB0)
+		p.ArchPush(0x2000, 0xBBB0)
+		p.SyncSpec()
+	}
+	if missesA > 10 || missesB > 10 {
+		t.Errorf("cross-site interference: A=%d B=%d", missesA, missesB)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	p := New(smallConfig())
+	pred := p.Predict(8)
+	p.Update(8, pred, 0x10)
+	if p.Stats().Predicts != 1 || p.Stats().Mispredicts != 1 {
+		t.Errorf("stats %+v", p.Stats())
+	}
+	p.ResetStats()
+	if p.Stats().Predicts != 0 {
+		t.Error("stats not reset")
+	}
+	// Learned target must survive the reset.
+	if got := p.Predict(8); !got.Valid || got.Target != 0x10 {
+		t.Error("ResetStats dropped learned state")
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	kb := float64(DefaultConfig().StorageBits()) / 8 / 1024
+	if kb < 16 || kb > 96 {
+		t.Errorf("default ITTAGE storage %.1f KB implausible", kb)
+	}
+}
+
+func BenchmarkPredictUpdate(b *testing.B) {
+	p := New(DefaultConfig())
+	targets := []uint64{1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		actual := targets[i%4]
+		pred := p.Predict(0x60)
+		p.Update(0x60, pred, actual)
+		p.ArchPush(0x60, actual)
+		p.SyncSpec()
+	}
+}

@@ -1,0 +1,287 @@
+// Package program builds executable VLX code images. The workload
+// synthesizer (internal/workload) uses it to lay out thousands of
+// functions — hot and cold deliberately interleaved so they share
+// instruction cache lines — which is the precondition for the shadow
+// branch phenomenon the paper studies: cold branches resident in L1-I
+// lines fetched on behalf of hot code.
+//
+// The builder works in two passes. Pass one records instructions and
+// label/function references with placeholder offsets; pass two assigns
+// final addresses and patches every PC-relative field.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// LineSize is the instruction cache line size in bytes, shared across
+// the whole simulator (paper Table 1: 64B lines).
+const LineSize = 64
+
+// LineAddr returns the address of the cache line containing pc.
+func LineAddr(pc uint64) uint64 { return pc &^ (LineSize - 1) }
+
+// LineOffset returns pc's byte offset within its cache line.
+func LineOffset(pc uint64) int { return int(pc & (LineSize - 1)) }
+
+// Func describes one laid-out function in the final image.
+type Func struct {
+	Name string
+	Addr uint64
+	Size int
+	// Hot marks functions the workload model executes frequently.
+	Hot bool
+}
+
+// Program is a finished, immutable code image.
+type Program struct {
+	// Base is the load address of Code[0].
+	Base uint64
+	// Code is the raw byte image.
+	Code []byte
+	// Funcs lists functions sorted by address.
+	Funcs []Func
+	// Entry is the starting PC.
+	Entry uint64
+
+	labels map[string]uint64
+}
+
+// End returns the first address past the image.
+func (p *Program) End() uint64 { return p.Base + uint64(len(p.Code)) }
+
+// Contains reports whether pc falls inside the image.
+func (p *Program) Contains(pc uint64) bool { return pc >= p.Base && pc < p.End() }
+
+// BytesAt returns up to n bytes of code starting at pc, or nil if pc is
+// outside the image. The slice aliases the image.
+func (p *Program) BytesAt(pc uint64, n int) []byte {
+	if !p.Contains(pc) {
+		return nil
+	}
+	off := int(pc - p.Base)
+	if off+n > len(p.Code) {
+		n = len(p.Code) - off
+	}
+	return p.Code[off : off+n]
+}
+
+// Line returns the full cache line containing pc, padded view into the
+// image, or nil when outside.
+func (p *Program) Line(pc uint64) []byte {
+	return p.BytesAt(LineAddr(pc), LineSize)
+}
+
+// Decode decodes the instruction at pc.
+func (p *Program) Decode(pc uint64) (isa.Inst, error) {
+	bs := p.BytesAt(pc, isa.MaxInstLen)
+	if bs == nil {
+		return isa.Inst{}, fmt.Errorf("program: pc %#x outside image [%#x,%#x)", pc, p.Base, p.End())
+	}
+	return isa.Decode(bs, pc)
+}
+
+// FuncAt returns the function containing pc, or nil.
+func (p *Program) FuncAt(pc uint64) *Func {
+	i := sort.Search(len(p.Funcs), func(i int) bool { return p.Funcs[i].Addr > pc })
+	if i == 0 {
+		return nil
+	}
+	f := &p.Funcs[i-1]
+	if pc < f.Addr+uint64(f.Size) {
+		return f
+	}
+	return nil
+}
+
+// LabelAddr returns the resolved address of a named label or function.
+func (p *Program) LabelAddr(name string) (uint64, bool) {
+	a, ok := p.labels[name]
+	return a, ok
+}
+
+// fixupKind distinguishes the relocation field widths in play.
+type fixupKind uint8
+
+const (
+	fixRel32 fixupKind = iota // patch 4 bytes at pos, relative to pos+4
+)
+
+type fixup struct {
+	kind   fixupKind
+	pos    int    // byte offset of the relocation field within the function body
+	target string // label or function name
+}
+
+// FuncBuilder assembles one function. Obtain one from Builder.Func.
+// It embeds the instruction encoder so callers write fb.MovImm32(...)
+// directly, and adds label-based branch emitters on top.
+type FuncBuilder struct {
+	isa.Asm
+	name    string
+	hot     bool
+	align   int
+	labels  map[string]int // label -> offset within body
+	fixups  []fixup
+	builder *Builder
+}
+
+// Label defines a local label at the current position. Labels share a
+// namespace with function names at link time; the builder qualifies
+// local labels as "func.label" to keep them unique, and Branch emitters
+// resolve unqualified names against local labels first.
+func (fb *FuncBuilder) Label(name string) {
+	fb.labels[name] = fb.Len()
+}
+
+// HasLabel reports whether a local label is defined.
+func (fb *FuncBuilder) HasLabel(name string) bool {
+	_, ok := fb.labels[name]
+	return ok
+}
+
+// JmpTo emits a rel32 unconditional jump to a label or function.
+func (fb *FuncBuilder) JmpTo(target string) {
+	fb.JmpRel32(0)
+	fb.fixups = append(fb.fixups, fixup{fixRel32, fb.Len() - 4, target})
+}
+
+// JccTo emits a rel32 conditional jump to a label or function.
+func (fb *FuncBuilder) JccTo(cc uint8, target string) {
+	fb.JccRel32(cc, 0)
+	fb.fixups = append(fb.fixups, fixup{fixRel32, fb.Len() - 4, target})
+}
+
+// CallTo emits a rel32 direct call to a label or function.
+func (fb *FuncBuilder) CallTo(target string) {
+	fb.CallRel32(0)
+	fb.fixups = append(fb.fixups, fixup{fixRel32, fb.Len() - 4, target})
+}
+
+// Builder accumulates functions and produces a linked Program.
+type Builder struct {
+	base  uint64
+	funcs []*FuncBuilder
+	byNam map[string]*FuncBuilder
+}
+
+// NewBuilder creates a Builder whose image will be loaded at base. The
+// base is rounded up to a line boundary.
+func NewBuilder(base uint64) *Builder {
+	return &Builder{
+		base:  (base + LineSize - 1) &^ (LineSize - 1),
+		byNam: make(map[string]*FuncBuilder),
+	}
+}
+
+// Func starts a new function appended after all existing ones. Layout
+// order is definition order, which is how the workload generator
+// interleaves hot and cold code. Duplicate names panic: that is a
+// generator bug.
+func (b *Builder) Func(name string, hot bool) *FuncBuilder {
+	if _, dup := b.byNam[name]; dup {
+		panic(fmt.Sprintf("program: duplicate function %q", name))
+	}
+	fb := &FuncBuilder{
+		name:    name,
+		hot:     hot,
+		labels:  make(map[string]int),
+		builder: b,
+	}
+	b.funcs = append(b.funcs, fb)
+	b.byNam[name] = fb
+	return fb
+}
+
+// SetAlign requests byte alignment (power of two) for the function
+// start. Zero means "pack tightly": the next function starts at the very
+// next byte, maximizing cache-line sharing between functions.
+func (fb *FuncBuilder) SetAlign(a int) { fb.align = a }
+
+// NumFuncs returns the number of functions defined so far.
+func (b *Builder) NumFuncs() int { return len(b.funcs) }
+
+// Link lays out all functions, resolves every fixup, and returns the
+// immutable Program. entry names the entry function.
+func (b *Builder) Link(entry string) (*Program, error) {
+	if _, ok := b.byNam[entry]; !ok {
+		return nil, fmt.Errorf("program: entry function %q not defined", entry)
+	}
+	// Pass 1: assign addresses.
+	addr := b.base
+	addrs := make(map[string]uint64, len(b.funcs))
+	var image []byte
+	var pads []int
+	for _, fb := range b.funcs {
+		pad := 0
+		if fb.align > 1 {
+			a := uint64(fb.align)
+			aligned := (addr + a - 1) &^ (a - 1)
+			pad = int(aligned - addr)
+		}
+		pads = append(pads, pad)
+		addr += uint64(pad)
+		addrs[fb.name] = addr
+		addr += uint64(fb.Len())
+	}
+	// Pass 2: resolve labels to absolute addresses.
+	labels := make(map[string]uint64)
+	for _, fb := range b.funcs {
+		labels[fb.name] = addrs[fb.name]
+		for l, off := range fb.labels {
+			labels[fb.name+"."+l] = addrs[fb.name] + uint64(off)
+		}
+	}
+	// Pass 3: patch fixups and assemble the image.
+	var pad isa.Asm
+	for i, fb := range b.funcs {
+		for _, fx := range fb.fixups {
+			tgt, ok := labels[fb.name+"."+fx.target]
+			if !ok {
+				tgt, ok = labels[fx.target]
+			}
+			if !ok {
+				return nil, fmt.Errorf("program: %s: undefined branch target %q", fb.name, fx.target)
+			}
+			switch fx.kind {
+			case fixRel32:
+				fieldEnd := addrs[fb.name] + uint64(fx.pos) + 4
+				rel := int64(tgt) - int64(fieldEnd)
+				if rel != int64(int32(rel)) {
+					return nil, fmt.Errorf("program: %s: target %q out of rel32 range", fb.name, fx.target)
+				}
+				fb.PatchRel32(fx.pos, int32(rel))
+			}
+		}
+		if pads[i] > 0 {
+			pad.Reset()
+			pad.Nop(pads[i])
+			image = append(image, pad.Bytes()...)
+		}
+		image = append(image, fb.Bytes()...)
+	}
+	// Pad the image to a whole number of lines so Program.Line always
+	// returns LineSize bytes for any in-image pc.
+	if rem := len(image) % LineSize; rem != 0 {
+		pad.Reset()
+		pad.Nop(LineSize - rem)
+		image = append(image, pad.Bytes()...)
+	}
+
+	funcs := make([]Func, len(b.funcs))
+	for i, fb := range b.funcs {
+		funcs[i] = Func{Name: fb.name, Addr: addrs[fb.name], Size: fb.Len(), Hot: fb.hot}
+	}
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Addr < funcs[j].Addr })
+
+	return &Program{
+		Base:   b.base,
+		Code:   image,
+		Funcs:  funcs,
+		Entry:  addrs[entry],
+		labels: labels,
+	}, nil
+}

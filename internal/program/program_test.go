@@ -1,0 +1,296 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// buildTiny builds a two-function program: main calls helper in a loop.
+func buildTiny(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder(0x40_0000)
+	m := b.Func("main", true)
+	m.MovImm32(1, 10)
+	m.Label("loop")
+	m.CallTo("helper")
+	m.IncDec(1, true)
+	m.Test(1, 1)
+	m.JccTo(4, "loop")
+	m.Halt()
+	h := b.Func("helper", true)
+	h.ALUReg(0, 2, 3)
+	h.Ret()
+	p, err := b.Link("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLinkResolvesTargets(t *testing.T) {
+	p := buildTiny(t)
+	mainAddr, ok := p.LabelAddr("main")
+	if !ok {
+		t.Fatal("main not resolved")
+	}
+	if p.Entry != mainAddr {
+		t.Errorf("entry %#x != main %#x", p.Entry, mainAddr)
+	}
+	helperAddr, _ := p.LabelAddr("helper")
+	loopAddr, ok := p.LabelAddr("main.loop")
+	if !ok {
+		t.Fatal("local label not resolved")
+	}
+
+	// Decode the call and verify its target is helper.
+	in, err := p.Decode(loopAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != isa.OpCall {
+		t.Fatalf("expected call at loop label, got %v", in.Op)
+	}
+	tgt, ok := in.BranchTarget()
+	if !ok || tgt != helperAddr {
+		t.Errorf("call target = %#x, want %#x", tgt, helperAddr)
+	}
+
+	// Walk forward to the jcc and verify it targets loop.
+	pc := in.NextPC()
+	for {
+		in, err = p.Decode(pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Op == isa.OpJcc {
+			tgt, _ := in.BranchTarget()
+			if tgt != loopAddr {
+				t.Errorf("jcc target = %#x, want %#x", tgt, loopAddr)
+			}
+			break
+		}
+		if in.Op == isa.OpHalt {
+			t.Fatal("ran into halt before jcc")
+		}
+		pc = in.NextPC()
+	}
+}
+
+func TestBaseLineAligned(t *testing.T) {
+	b := NewBuilder(0x1001) // deliberately misaligned
+	f := b.Func("f", false)
+	f.Ret()
+	p, err := b.Link("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Base%LineSize != 0 {
+		t.Errorf("base %#x not line aligned", p.Base)
+	}
+	if len(p.Code)%LineSize != 0 {
+		t.Errorf("image size %d not a whole number of lines", len(p.Code))
+	}
+}
+
+func TestImageFullyDecodable(t *testing.T) {
+	p := buildTiny(t)
+	pc := p.Base
+	for pc < p.End() {
+		in, err := p.Decode(pc)
+		if err != nil {
+			t.Fatalf("image not decodable at %#x: %v", pc, err)
+		}
+		pc = in.NextPC()
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	p := buildTiny(t)
+	mainAddr, _ := p.LabelAddr("main")
+	helperAddr, _ := p.LabelAddr("helper")
+	if f := p.FuncAt(mainAddr); f == nil || f.Name != "main" {
+		t.Errorf("FuncAt(main) = %+v", f)
+	}
+	if f := p.FuncAt(helperAddr); f == nil || f.Name != "helper" {
+		t.Errorf("FuncAt(helper) = %+v", f)
+	}
+	if f := p.FuncAt(p.Base - 1); f != nil {
+		t.Errorf("FuncAt(before image) = %+v", f)
+	}
+	// Address in the middle of main still maps to main.
+	if f := p.FuncAt(mainAddr + 2); f == nil || f.Name != "main" {
+		t.Errorf("FuncAt(main+2) = %+v", f)
+	}
+}
+
+func TestLine(t *testing.T) {
+	p := buildTiny(t)
+	l := p.Line(p.Entry)
+	if len(l) != LineSize {
+		t.Errorf("line length = %d", len(l))
+	}
+	if p.Line(p.End()+LineSize) != nil {
+		t.Error("line outside image should be nil")
+	}
+}
+
+func TestLineAddrHelpers(t *testing.T) {
+	if LineAddr(0x1234) != 0x1200 {
+		t.Errorf("LineAddr = %#x", LineAddr(0x1234))
+	}
+	if LineOffset(0x1234) != 0x34 {
+		t.Errorf("LineOffset = %d", LineOffset(0x1234))
+	}
+}
+
+func TestUndefinedTarget(t *testing.T) {
+	b := NewBuilder(0)
+	f := b.Func("f", false)
+	f.JmpTo("nowhere")
+	if _, err := b.Link("f"); err == nil {
+		t.Error("expected undefined target error")
+	}
+}
+
+func TestUndefinedEntry(t *testing.T) {
+	b := NewBuilder(0)
+	f := b.Func("f", false)
+	f.Ret()
+	if _, err := b.Link("ghost"); err == nil {
+		t.Error("expected undefined entry error")
+	}
+}
+
+func TestDuplicateFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate function")
+		}
+	}()
+	b := NewBuilder(0)
+	b.Func("f", false)
+	b.Func("f", false)
+}
+
+func TestAlignment(t *testing.T) {
+	b := NewBuilder(0)
+	f1 := b.Func("a", true)
+	f1.Ret() // 1 byte
+	f2 := b.Func("b", true)
+	f2.SetAlign(16)
+	f2.Ret()
+	p, err := b.Link("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAddr, _ := p.LabelAddr("b")
+	if bAddr%16 != 0 {
+		t.Errorf("aligned func at %#x", bAddr)
+	}
+	// The pad between a and b must decode as NOPs.
+	pc := p.Base + 1
+	for pc < bAddr {
+		in, err := p.Decode(pc)
+		if err != nil {
+			t.Fatalf("pad not decodable at %#x: %v", pc, err)
+		}
+		if in.Op != isa.OpNop {
+			t.Fatalf("pad byte at %#x decodes to %v", pc, in.Op)
+		}
+		pc = in.NextPC()
+	}
+}
+
+func TestPackedFunctionsShareLines(t *testing.T) {
+	// Two tiny packed functions must land on the same cache line — the
+	// structural precondition for shadow branches.
+	b := NewBuilder(0)
+	f1 := b.Func("hot", true)
+	f1.ALUReg(0, 1, 2)
+	f1.Ret()
+	f2 := b.Func("cold", false)
+	f2.JmpTo("hot")
+	p, err := b.Link("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotAddr, _ := p.LabelAddr("hot")
+	coldAddr, _ := p.LabelAddr("cold")
+	if LineAddr(hotAddr) != LineAddr(coldAddr) {
+		t.Errorf("hot %#x and cold %#x on different lines", hotAddr, coldAddr)
+	}
+}
+
+func TestCrossFunctionBackwardBranch(t *testing.T) {
+	b := NewBuilder(0x1000)
+	f1 := b.Func("first", true)
+	f1.Label("top")
+	f1.Nop(3)
+	f1.Ret()
+	f2 := b.Func("second", true)
+	f2.JmpTo("first.top") // qualified cross-function label
+	p, err := b.Link("first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondAddr, _ := p.LabelAddr("second")
+	topAddr, _ := p.LabelAddr("first.top")
+	in, err := p.Decode(secondAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, ok := in.BranchTarget()
+	if !ok || tgt != topAddr {
+		t.Errorf("cross-function jmp target = %#x, want %#x", tgt, topAddr)
+	}
+}
+
+func TestLocalLabelShadowsGlobal(t *testing.T) {
+	// A local label with the same name as a function resolves locally.
+	b := NewBuilder(0)
+	f1 := b.Func("aux", true)
+	f1.Ret()
+	f2 := b.Func("main", true)
+	f2.Nop(1)
+	f2.Label("aux")
+	f2.Nop(1)
+	f2.JmpTo("aux")
+	f2.Halt()
+	p, err := b.Link("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	localAux, _ := p.LabelAddr("main.aux")
+	mainAddr, _ := p.LabelAddr("main")
+	in, err := p.Decode(mainAddr + 2) // nop, nop, then jmp
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, _ := in.BranchTarget()
+	if tgt != localAux {
+		t.Errorf("jmp resolved to %#x, want local label %#x", tgt, localAux)
+	}
+}
+
+func TestBytesAt(t *testing.T) {
+	p := buildTiny(t)
+	if bs := p.BytesAt(p.Base, 4); len(bs) != 4 {
+		t.Errorf("BytesAt len = %d", len(bs))
+	}
+	if bs := p.BytesAt(p.End()-2, 10); len(bs) != 2 {
+		t.Errorf("clamped BytesAt len = %d", len(bs))
+	}
+	if bs := p.BytesAt(p.End(), 1); bs != nil {
+		t.Error("BytesAt outside image should be nil")
+	}
+}
+
+func TestHasLabel(t *testing.T) {
+	b := NewBuilder(0)
+	f := b.Func("f", false)
+	f.Label("x")
+	if !f.HasLabel("x") || f.HasLabel("y") {
+		t.Error("HasLabel wrong")
+	}
+}

@@ -1,0 +1,95 @@
+// Package ras models the Return Address Stack, the BPU structure that
+// predicts return targets. Skia's R-SBB depends on it: the Shadow Branch
+// Buffer only records that a return instruction *exists* at a given
+// line offset (20-bit entries, paper Figure 12); the target still comes
+// from the RAS at prediction time.
+//
+// The model is a circular stack with configurable depth. Speculative
+// pushes/pops can corrupt it on wrong paths; the front-end repairs it
+// from checkpoints at resteer time via Snapshot/Restore, which is how
+// commercial cores recover RAS state.
+package ras
+
+// Stack is a return address stack. Not safe for concurrent use.
+type Stack struct {
+	buf []uint64
+	top int // index of next free slot
+	n   int // live entries, <= len(buf)
+}
+
+// New returns a RAS with the given depth (minimum 1).
+func New(depth int) *Stack {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Stack{buf: make([]uint64, depth)}
+}
+
+// Push records a return address (on a call).
+func (s *Stack) Push(addr uint64) {
+	s.buf[s.top] = addr
+	s.top = (s.top + 1) % len(s.buf)
+	if s.n < len(s.buf) {
+		s.n++
+	}
+}
+
+// Pop predicts and consumes the top return address. On underflow it
+// returns 0 and false.
+func (s *Stack) Pop() (uint64, bool) {
+	if s.n == 0 {
+		return 0, false
+	}
+	s.top = (s.top - 1 + len(s.buf)) % len(s.buf)
+	s.n--
+	return s.buf[s.top], true
+}
+
+// Peek returns the top return address without consuming it.
+func (s *Stack) Peek() (uint64, bool) {
+	if s.n == 0 {
+		return 0, false
+	}
+	return s.buf[(s.top-1+len(s.buf))%len(s.buf)], true
+}
+
+// Depth returns the number of live entries.
+func (s *Stack) Depth() int { return s.n }
+
+// Capacity returns the configured depth.
+func (s *Stack) Capacity() int { return len(s.buf) }
+
+// Snapshot captures the full RAS state for later restoration.
+type Snapshot struct {
+	buf []uint64
+	top int
+	n   int
+}
+
+// Snapshot returns a checkpoint of the current state.
+func (s *Stack) Snapshot() Snapshot {
+	cp := make([]uint64, len(s.buf))
+	copy(cp, s.buf)
+	return Snapshot{buf: cp, top: s.top, n: s.n}
+}
+
+// Restore rewinds the RAS to a previously captured checkpoint.
+func (s *Stack) Restore(sn Snapshot) {
+	copy(s.buf, sn.buf)
+	s.top = sn.top
+	s.n = sn.n
+}
+
+// LoadFrom overwrites the RAS with the top entries of an architectural
+// call stack (oldest first), modeling a perfect repair from committed
+// state after a deep mis-speculation.
+func (s *Stack) LoadFrom(arch []uint64) {
+	s.top, s.n = 0, 0
+	start := 0
+	if len(arch) > len(s.buf) {
+		start = len(arch) - len(s.buf)
+	}
+	for _, a := range arch[start:] {
+		s.Push(a)
+	}
+}

@@ -1,0 +1,151 @@
+package ras
+
+import "testing"
+
+func TestPushPop(t *testing.T) {
+	s := New(8)
+	s.Push(1)
+	s.Push(2)
+	s.Push(3)
+	if s.Depth() != 3 {
+		t.Errorf("depth = %d", s.Depth())
+	}
+	for want := uint64(3); want >= 1; want-- {
+		got, ok := s.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Error("pop from empty should fail")
+	}
+}
+
+func TestPeek(t *testing.T) {
+	s := New(4)
+	if _, ok := s.Peek(); ok {
+		t.Error("peek empty should fail")
+	}
+	s.Push(42)
+	v, ok := s.Peek()
+	if !ok || v != 42 {
+		t.Errorf("peek = %d,%v", v, ok)
+	}
+	if s.Depth() != 1 {
+		t.Error("peek consumed the entry")
+	}
+}
+
+func TestOverflowWrapsOldest(t *testing.T) {
+	s := New(4)
+	for i := uint64(1); i <= 6; i++ {
+		s.Push(i)
+	}
+	if s.Depth() != 4 {
+		t.Errorf("depth = %d, want 4", s.Depth())
+	}
+	// The four most recent survive: 6,5,4,3.
+	for want := uint64(6); want >= 3; want-- {
+		got, ok := s.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Error("oldest entries should have been overwritten")
+	}
+}
+
+func TestMinDepth(t *testing.T) {
+	s := New(0)
+	if s.Capacity() != 1 {
+		t.Errorf("capacity = %d, want 1", s.Capacity())
+	}
+	s.Push(7)
+	if v, ok := s.Pop(); !ok || v != 7 {
+		t.Error("single-entry RAS broken")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := New(8)
+	s.Push(1)
+	s.Push(2)
+	snap := s.Snapshot()
+	s.Push(3)
+	s.Pop()
+	s.Pop()
+	s.Restore(snap)
+	if s.Depth() != 2 {
+		t.Fatalf("depth after restore = %d", s.Depth())
+	}
+	if v, _ := s.Pop(); v != 2 {
+		t.Errorf("restored top = %d", v)
+	}
+	if v, _ := s.Pop(); v != 1 {
+		t.Errorf("restored second = %d", v)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	s := New(4)
+	s.Push(1)
+	snap := s.Snapshot()
+	s.Push(99) // must not leak into the snapshot
+	s.Restore(snap)
+	s.Push(2)
+	if v, _ := s.Pop(); v != 2 {
+		t.Error("snapshot corrupted by later pushes")
+	}
+	if v, _ := s.Pop(); v != 1 {
+		t.Error("snapshot lost original entry")
+	}
+}
+
+func TestLoadFrom(t *testing.T) {
+	s := New(4)
+	s.Push(0xdead) // garbage to be replaced
+	arch := []uint64{1, 2, 3, 4, 5, 6}
+	s.LoadFrom(arch)
+	// Only the deepest Capacity() entries fit: 3,4,5,6.
+	for want := uint64(6); want >= 3; want-- {
+		got, ok := s.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if s.Depth() != 0 {
+		t.Error("stale entries after LoadFrom")
+	}
+	s.LoadFrom(nil)
+	if s.Depth() != 0 {
+		t.Error("LoadFrom(nil) should empty the stack")
+	}
+}
+
+func TestCallReturnSequence(t *testing.T) {
+	// Simulate nested call/return pairs and verify perfect prediction.
+	s := New(32)
+	type frame struct{ ret uint64 }
+	var model []frame
+	push := func(r uint64) { s.Push(r); model = append(model, frame{r}) }
+	pop := func() {
+		want := model[len(model)-1].ret
+		model = model[:len(model)-1]
+		got, ok := s.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	push(100)
+	push(200)
+	pop()
+	push(300)
+	push(400)
+	pop()
+	pop()
+	pop()
+	if s.Depth() != 0 {
+		t.Error("imbalanced")
+	}
+}

@@ -1,0 +1,173 @@
+// Package sim runs simulations: it generates (and caches) workloads,
+// executes warmup + measurement windows, and fans suites of runs out
+// over worker goroutines. Every experiment harness in
+// internal/experiments sits on top of this package.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/btb"
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+// Default simulation window sizes. The paper warms 10M and measures
+// 100M instructions on gem5; this simulator is pure Go and the
+// synthetic workloads reach steady state much sooner, so the defaults
+// are sized for laptop-scale turnaround. Scale them up with the cmd
+// flags for tighter confidence.
+const (
+	DefaultWarmup  = 1_000_000
+	DefaultMeasure = 3_000_000
+)
+
+// RunSpec describes one simulation.
+type RunSpec struct {
+	// Benchmark names a registered workload profile.
+	Benchmark string
+	// Config is the core configuration.
+	Config cpu.Config
+	// Warmup and Measure are instruction counts for the two phases;
+	// zero selects the defaults.
+	Warmup, Measure uint64
+	// Label annotates the result (e.g. "skia", "btb+state").
+	Label string
+}
+
+// Result pairs a cpu.Result with its spec label.
+type Result struct {
+	cpu.Result
+	Label string
+}
+
+// Runner generates and caches workloads so that every configuration of
+// a benchmark simulates the same program bytes. Workloads are immutable
+// after generation, so the cache is safe to share across goroutines.
+type Runner struct {
+	mu    sync.Mutex
+	cache map[string]*workload.Workload
+	// Workers bounds concurrent simulations in RunAll (default:
+	// GOMAXPROCS).
+	Workers int
+}
+
+// NewRunner returns an empty runner.
+func NewRunner() *Runner {
+	return &Runner{cache: make(map[string]*workload.Workload)}
+}
+
+// Workload returns the cached workload for a registered benchmark,
+// generating it on first use.
+func (r *Runner) Workload(name string) (*workload.Workload, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.cache[name]; ok {
+		return w, nil
+	}
+	prof, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	w, err := workload.Generate(prof)
+	if err != nil {
+		return nil, err
+	}
+	r.cache[name] = w
+	return w, nil
+}
+
+// Run executes one simulation: build core, warm up, reset statistics,
+// measure.
+func (r *Runner) Run(spec RunSpec) (Result, error) {
+	w, err := r.Workload(spec.Benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	warm, meas := spec.Warmup, spec.Measure
+	if warm == 0 {
+		warm = DefaultWarmup
+	}
+	if meas == 0 {
+		meas = DefaultMeasure
+	}
+	c, err := cpu.New(spec.Config, w)
+	if err != nil {
+		return Result{}, err
+	}
+	c.Run(warm)
+	c.ResetStats()
+	c.Run(meas)
+	if err := c.Frontend().Err(); err != nil {
+		return Result{}, fmt.Errorf("sim: %s: %w", spec.Benchmark, err)
+	}
+	res := c.Result(spec.Benchmark)
+	if res.FE.ForcedResyncs > 0 {
+		return Result{}, fmt.Errorf("sim: %s: %d forced resyncs indicate a front-end modeling bug",
+			spec.Benchmark, res.FE.ForcedResyncs)
+	}
+	return Result{Result: res, Label: spec.Label}, nil
+}
+
+// RunAll executes the specs concurrently (bounded by Workers) and
+// returns results in spec order. The first error aborts the batch.
+func (r *Runner) RunAll(specs []RunSpec) ([]Result, error) {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	results := make([]Result, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = r.Run(specs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// BTBWithEntries returns the baseline BTB config resized to n entries.
+func BTBWithEntries(n int) btb.Config {
+	cfg := btb.DefaultConfig()
+	cfg.Entries = n
+	return cfg
+}
+
+// AugmentedBTB grows base by approximately extraBits of storage — the
+// iso-hardware-budget competitor from Figure 3 (giving the BTB the
+// SBB's budget instead). BTB geometry is quantized (power-of-two sets),
+// so the added capacity is rounded to the nearest whole way; the caller
+// can compare StorageBits before and after for the exact grant.
+func AugmentedBTB(base btb.Config, extraBits int) btb.Config {
+	if base.Infinite || base.Entries <= 0 {
+		return base
+	}
+	sets := base.Entries / base.Ways
+	perEntry := base.TagBits + 1 + 1 + 2 + 64
+	extraEntries := extraBits / perEntry
+	extraWays := (extraEntries + sets/2) / sets // nearest
+	if extraWays < 1 && extraEntries > 0 {
+		extraWays = 1 // never grant less than one way
+	}
+	out := base
+	out.Ways += extraWays
+	out.Entries = sets * out.Ways
+	return out
+}

@@ -1,0 +1,269 @@
+// Package stats provides the counters and derived metrics shared by
+// every simulator component: misses per kilo-instruction, IPC, geometric
+// means over benchmark suites, and plain-text table rendering for the
+// experiment harnesses in internal/experiments.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// MPKI returns events per thousand instructions. A zero instruction
+// count yields 0 rather than NaN so partially-warmed runs stay printable.
+func MPKI(events, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(events) * 1000 / float64(instructions)
+}
+
+// IPC returns instructions per cycle, 0 when cycles is 0.
+func IPC(instructions, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(instructions) / float64(cycles)
+}
+
+// Speedup returns the relative speedup of ipc over base as a fraction
+// (0.057 for +5.7%).
+func Speedup(ipc, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return ipc/base - 1
+}
+
+// Geomean returns the geometric mean of xs. Non-positive entries are
+// clamped to a tiny epsilon so a single degenerate benchmark cannot
+// poison a suite aggregate; an empty slice returns 0.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			x = 1e-12
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// GeomeanSpeedup aggregates per-benchmark (ipc, base) pairs into a suite
+// speedup fraction the way the paper reports geomean speedups: geomean
+// of the per-benchmark ratios, minus one.
+func GeomeanSpeedup(ipcs, bases []float64) float64 {
+	if len(ipcs) != len(bases) || len(ipcs) == 0 {
+		return 0
+	}
+	ratios := make([]float64, len(ipcs))
+	for i := range ipcs {
+		if bases[i] == 0 {
+			ratios[i] = 1
+			continue
+		}
+		ratios[i] = ipcs[i] / bases[i]
+	}
+	return Geomean(ratios) - 1
+}
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percent formats a fraction as a signed percentage with two decimals.
+func Percent(frac float64) string {
+	return fmt.Sprintf("%+.2f%%", frac*100)
+}
+
+// Counter is a named monotonically-increasing event count.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Set is an ordered collection of named counters. The zero value is
+// ready to use.
+type Set struct {
+	order []string
+	vals  map[string]uint64
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set {
+	return &Set{vals: make(map[string]uint64)}
+}
+
+// Add increments the named counter by n, creating it on first use.
+func (s *Set) Add(name string, n uint64) {
+	if s.vals == nil {
+		s.vals = make(map[string]uint64)
+	}
+	if _, ok := s.vals[name]; !ok {
+		s.order = append(s.order, name)
+	}
+	s.vals[name] += n
+}
+
+// Inc increments the named counter by one.
+func (s *Set) Inc(name string) { s.Add(name, 1) }
+
+// Get returns the counter value, 0 if absent.
+func (s *Set) Get(name string) uint64 {
+	if s.vals == nil {
+		return 0
+	}
+	return s.vals[name]
+}
+
+// Counters returns the counters in insertion order.
+func (s *Set) Counters() []Counter {
+	out := make([]Counter, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, Counter{Name: n, Value: s.vals[n]})
+	}
+	return out
+}
+
+// Reset zeroes all counters while preserving their registration order.
+func (s *Set) Reset() {
+	for k := range s.vals {
+		s.vals[k] = 0
+	}
+}
+
+// Merge adds all of other's counters into s.
+func (s *Set) Merge(other *Set) {
+	if other == nil {
+		return
+	}
+	for _, c := range other.Counters() {
+		s.Add(c.Name, c.Value)
+	}
+}
+
+// Table renders aligned plain-text tables for the experiment harnesses.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped and
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row formatting each cell with fmt.Sprint for
+// convenience with mixed types.
+func (t *Table) AddRowf(cells ...any) {
+	ss := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			ss[i] = fmt.Sprintf("%.3f", v)
+		default:
+			ss[i] = fmt.Sprint(c)
+		}
+	}
+	t.AddRow(ss...)
+}
+
+// String renders the table with column alignment.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Histogram tracks a distribution of integer samples for diagnostics
+// such as branch re-reference distances.
+type Histogram struct {
+	samples []float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) { h.samples = append(h.samples, v) }
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the observed
+// samples, 0 if empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := q * float64(len(sorted)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean of observed samples.
+func (h *Histogram) Mean() float64 { return Mean(h.samples) }

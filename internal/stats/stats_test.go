@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMPKI(t *testing.T) {
+	if got := MPKI(50, 1000); !almostEqual(got, 50) {
+		t.Errorf("MPKI = %v", got)
+	}
+	if got := MPKI(1, 1_000_000); !almostEqual(got, 0.001) {
+		t.Errorf("MPKI = %v", got)
+	}
+	if got := MPKI(5, 0); got != 0 {
+		t.Errorf("MPKI with zero insts = %v", got)
+	}
+}
+
+func TestIPC(t *testing.T) {
+	if got := IPC(100, 50); !almostEqual(got, 2) {
+		t.Errorf("IPC = %v", got)
+	}
+	if got := IPC(100, 0); got != 0 {
+		t.Errorf("IPC zero cycles = %v", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(1.1, 1.0); !almostEqual(got, 0.1) {
+		t.Errorf("Speedup = %v", got)
+	}
+	if got := Speedup(1.0, 0); got != 0 {
+		t.Errorf("Speedup base 0 = %v", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{2, 8}); !almostEqual(got, 4) {
+		t.Errorf("Geomean = %v", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Errorf("Geomean(nil) = %v", got)
+	}
+	// Non-positive entries must not produce NaN.
+	if got := Geomean([]float64{1, 0}); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("Geomean with zero = %v", got)
+	}
+}
+
+func TestGeomeanIsScaleInvariant(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		clamp := func(v float64) float64 {
+			v = math.Abs(v)
+			if v > 1e6 || math.IsNaN(v) {
+				v = math.Mod(v, 1e6)
+			}
+			return v + 0.1
+		}
+		xs := []float64{clamp(a), clamp(b), clamp(c)}
+		g := Geomean(xs)
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = x * 3
+		}
+		g2 := Geomean(scaled)
+		return math.Abs(g2-3*g) < 1e-6*math.Max(1, g)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeomeanSpeedup(t *testing.T) {
+	ipcs := []float64{1.1, 1.1}
+	bases := []float64{1.0, 1.0}
+	if got := GeomeanSpeedup(ipcs, bases); !almostEqual(got, 0.1) {
+		t.Errorf("GeomeanSpeedup = %v", got)
+	}
+	if got := GeomeanSpeedup([]float64{1}, []float64{1, 2}); got != 0 {
+		t.Errorf("mismatched lengths = %v", got)
+	}
+	if got := GeomeanSpeedup([]float64{1}, []float64{0}); got != 0 {
+		t.Errorf("zero base = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); !almostEqual(got, 2) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.0564); got != "+5.64%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Percent(-0.02); got != "-2.00%" {
+		t.Errorf("Percent = %q", got)
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet()
+	s.Inc("a")
+	s.Add("b", 5)
+	s.Inc("a")
+	if got := s.Get("a"); got != 2 {
+		t.Errorf("a = %d", got)
+	}
+	if got := s.Get("b"); got != 5 {
+		t.Errorf("b = %d", got)
+	}
+	if got := s.Get("missing"); got != 0 {
+		t.Errorf("missing = %d", got)
+	}
+	cs := s.Counters()
+	if len(cs) != 2 || cs[0].Name != "a" || cs[1].Name != "b" {
+		t.Errorf("Counters order = %+v", cs)
+	}
+	s.Reset()
+	if s.Get("a") != 0 || s.Get("b") != 0 {
+		t.Error("Reset did not zero values")
+	}
+	// order preserved after reset
+	cs = s.Counters()
+	if len(cs) != 2 || cs[0].Name != "a" {
+		t.Errorf("order lost after reset: %+v", cs)
+	}
+}
+
+func TestSetZeroValue(t *testing.T) {
+	var s Set
+	s.Inc("x")
+	if s.Get("x") != 1 {
+		t.Error("zero-value Set should work")
+	}
+}
+
+func TestSetMerge(t *testing.T) {
+	a := NewSet()
+	a.Add("x", 1)
+	b := NewSet()
+	b.Add("x", 2)
+	b.Add("y", 3)
+	a.Merge(b)
+	if a.Get("x") != 3 || a.Get("y") != 3 {
+		t.Errorf("merge got x=%d y=%d", a.Get("x"), a.Get("y"))
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("bench", "ipc")
+	tb.AddRow("kafka", "0.91")
+	tb.AddRowf("tpcc", 1.234567)
+	out := tb.String()
+	if !strings.Contains(out, "kafka") || !strings.Contains(out, "1.235") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// extra cells dropped, missing cells empty
+	tb2 := NewTable("a")
+	tb2.AddRow("1", "2", "3")
+	tb2.AddRow()
+	if !strings.Contains(tb2.String(), "1") {
+		t.Error("row content lost")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Error("empty histogram should return zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if q := h.Quantile(0); !almostEqual(q, 1) {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := h.Quantile(1); !almostEqual(q, 100) {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50.5) > 1 {
+		t.Errorf("median = %v", q)
+	}
+	if m := h.Mean(); !almostEqual(m, 50.5) {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{5, 1, 9, 3, 7, 2} {
+		h.Observe(v)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.1 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotonic at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,236 @@
+// Package trace records and replays dynamic VLX instruction streams.
+// A trace captures exactly what the functional emulator produced —
+// instruction PCs, branch outcomes, and targets — in a compact
+// varint-delta binary format, so workload behaviour can be archived,
+// diffed across generator versions, and replayed into analyses without
+// re-running the emulator.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// Magic identifies the trace format; Version gates incompatible layout
+// changes.
+const (
+	Magic   = "VLXTRACE"
+	Version = 1
+)
+
+// Record is one executed instruction.
+type Record struct {
+	// PC is the instruction address.
+	PC uint64
+	// Len is the instruction length in bytes.
+	Len uint8
+	// Class is the control-flow class.
+	Class isa.Class
+	// Taken reports whether control transferred.
+	Taken bool
+	// NextPC is the architecturally next instruction address.
+	NextPC uint64
+}
+
+// FromStep converts an emulator step into a trace record.
+func FromStep(st emu.Step) Record {
+	return Record{
+		PC:     st.Inst.PC,
+		Len:    st.Inst.Len,
+		Class:  st.Inst.Class,
+		Taken:  st.Taken,
+		NextPC: st.NextPC,
+	}
+}
+
+// Writer streams records to an underlying io.Writer.
+type Writer struct {
+	w      *bufio.Writer
+	lastPC uint64
+	count  uint64
+	buf    [2 * binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes the header and returns a Writer. Call Flush when
+// done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(Version); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// zigzag encodes a signed delta as unsigned.
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+// unzigzag reverses zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	// Layout per record:
+	//   uvarint  pcDelta (zigzag from previous record's PC)
+	//   byte     class<<2 | taken<<1 | nextIsFallthrough
+	//   byte     len
+	//   uvarint  target delta from NextPC-as-fallthrough (only when the
+	//            next PC is not the fall-through)
+	pcDelta := zigzag(int64(r.PC) - int64(w.lastPC))
+	n := binary.PutUvarint(w.buf[:], pcDelta)
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		return err
+	}
+	fall := r.PC + uint64(r.Len)
+	flags := byte(r.Class) << 2
+	if r.Taken {
+		flags |= 2
+	}
+	if r.NextPC == fall {
+		flags |= 1
+	}
+	if err := w.w.WriteByte(flags); err != nil {
+		return err
+	}
+	if err := w.w.WriteByte(r.Len); err != nil {
+		return err
+	}
+	if r.NextPC != fall {
+		n := binary.PutUvarint(w.buf[:], zigzag(int64(r.NextPC)-int64(fall)))
+		if _, err := w.w.Write(w.buf[:n]); err != nil {
+			return err
+		}
+	}
+	w.lastPC = r.PC
+	w.count++
+	return nil
+}
+
+// Count returns the records written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// ErrBadHeader reports a stream that is not a VLX trace.
+var ErrBadHeader = errors.New("trace: bad header")
+
+// Reader streams records from an underlying io.Reader.
+type Reader struct {
+	r      *bufio.Reader
+	lastPC uint64
+	count  uint64
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(Magic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if string(head[:len(Magic)]) != Magic {
+		return nil, ErrBadHeader
+	}
+	if head[len(Magic)] != Version {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadHeader, head[len(Magic)], Version)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next record, or io.EOF at the end of the trace.
+func (r *Reader) Read() (Record, error) {
+	pcDelta, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: truncated pc delta: %w", err)
+	}
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: truncated flags: %w", err)
+	}
+	ln, err := r.r.ReadByte()
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: truncated len: %w", err)
+	}
+	rec := Record{
+		PC:    uint64(int64(r.lastPC) + unzigzag(pcDelta)),
+		Len:   ln,
+		Class: isa.Class(flags >> 2),
+		Taken: flags&2 != 0,
+	}
+	fall := rec.PC + uint64(rec.Len)
+	if flags&1 != 0 {
+		rec.NextPC = fall
+	} else {
+		td, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: truncated target: %w", err)
+		}
+		rec.NextPC = uint64(int64(fall) + unzigzag(td))
+	}
+	r.lastPC = rec.PC
+	r.count++
+	return rec, nil
+}
+
+// Count returns the records read so far.
+func (r *Reader) Count() uint64 { return r.count }
+
+// Capture runs the emulator for up to n instructions, writing each step
+// into w. It returns the number captured (fewer on halt).
+func Capture(e *emu.Emulator, n uint64, w *Writer) (uint64, error) {
+	var i uint64
+	for i = 0; i < n && !e.Halted(); i++ {
+		st, err := e.Step()
+		if err != nil {
+			return i, err
+		}
+		if err := w.Write(FromStep(st)); err != nil {
+			return i, err
+		}
+	}
+	return i, w.Flush()
+}
+
+// Summary aggregates whole-trace statistics.
+type Summary struct {
+	Instructions uint64
+	Branches     uint64
+	Taken        uint64
+	ByClass      [8]uint64
+}
+
+// Summarize reads a whole trace and aggregates it.
+func Summarize(r *Reader) (Summary, error) {
+	var s Summary
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return s, nil
+		}
+		if err != nil {
+			return s, err
+		}
+		s.Instructions++
+		if rec.Class.IsBranch() {
+			s.Branches++
+			if rec.Taken {
+				s.Taken++
+			}
+		}
+		if int(rec.Class) < len(s.ByClass) {
+			s.ByClass[rec.Class]++
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+func testWorkload(t testing.TB) *workload.Workload {
+	t.Helper()
+	p, err := workload.ByName("noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.HotFuncs = 32
+	p.ColdFuncs = 80
+	w, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRoundTripRandomRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var recs []Record
+	pc := uint64(0x40_0000)
+	for i := 0; i < 5000; i++ {
+		r := Record{
+			PC:    pc,
+			Len:   uint8(1 + rng.Intn(14)),
+			Class: isa.Class(rng.Intn(7)),
+			Taken: rng.Intn(2) == 0,
+		}
+		if r.Taken && rng.Intn(2) == 0 {
+			r.NextPC = uint64(0x40_0000 + rng.Intn(1<<20))
+		} else {
+			r.NextPC = r.PC + uint64(r.Len)
+		}
+		recs = append(recs, r)
+		pc = r.NextPC
+	}
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Errorf("writer count %d", w.Count())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+	if r.Count() != uint64(len(recs)) {
+		t.Errorf("reader count %d", r.Count())
+	}
+}
+
+func TestCaptureAndReplayMatchesEmulator(t *testing.T) {
+	w := testWorkload(t)
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50_000
+	captured, err := Capture(emu.New(w), n, tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if captured != n {
+		t.Fatalf("captured %d", captured)
+	}
+
+	// Replay must equal a fresh emulation.
+	ref := emu.New(w)
+	tr, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		st, err := ref.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := tr.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec != FromStep(st) {
+			t.Fatalf("record %d: trace %+v vs emu %+v", i, rec, FromStep(st))
+		}
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// The delta format should average only a few bytes per record.
+	w := testWorkload(t)
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf)
+	const n = 20_000
+	if _, err := Capture(emu.New(w), n, tw); err != nil {
+		t.Fatal(err)
+	}
+	perRecord := float64(buf.Len()) / n
+	if perRecord > 6 {
+		t.Errorf("%.2f bytes/record; format regressed", perRecord)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	w := testWorkload(t)
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf)
+	const n = 30_000
+	if _, err := Capture(emu.New(w), n, tw); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := NewReader(&buf)
+	s, err := Summarize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Instructions != n {
+		t.Errorf("instructions %d", s.Instructions)
+	}
+	if s.Branches == 0 || s.Taken == 0 || s.Taken > s.Branches {
+		t.Errorf("branch stats implausible: %+v", s)
+	}
+	if s.ByClass[isa.ClassSeq] == 0 || s.ByClass[isa.ClassCall] == 0 {
+		t.Errorf("class histogram empty: %v", s.ByClass)
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewBufferString("NOTATRACE")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewBufferString("VLXTRACE\x7f")); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := NewReader(bytes.NewBufferString("VL")); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf)
+	tw.Write(Record{PC: 100, Len: 5, NextPC: 105})
+	tw.Flush()
+	full := buf.Bytes()
+	// Chop mid-record: every strict prefix past the header must fail
+	// with a non-EOF error or cleanly EOF at a record boundary.
+	for cut := len(Magic) + 1 + 1; cut < len(full); cut++ {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Read(); err == nil {
+			t.Fatalf("cut %d: truncated record decoded", cut)
+		}
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40)} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag round trip %d -> %d", v, got)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package workload synthesizes the 16 front-end-bound benchmark models
+// the paper evaluates (Table 2). Each benchmark is a deterministic,
+// parameterized generator that produces a real VLX program image plus a
+// behaviour oracle describing the steady-state control flow: conditional
+// outcome patterns, indirect target rotations, and — crucially — the
+// cold-branch structure that makes BTB capacity misses land on
+// L1-I-resident cache lines (the shadow-branch phenomenon).
+package workload
+
+// CondBehavior yields the outcome sequence of one static conditional
+// branch site. visit is the zero-based execution count of the site.
+type CondBehavior interface {
+	Taken(visit uint64) bool
+}
+
+// IndirectBehavior yields the target sequence of one static indirect
+// branch or call site.
+type IndirectBehavior interface {
+	Target(visit uint64) uint64
+}
+
+// LoopCond models a counted loop's backward branch: taken trip-1 times,
+// then not taken once, repeating. A Trip of 1 is never taken; a Trip of
+// 0 behaves like 1.
+type LoopCond struct {
+	Trip uint64
+}
+
+// Taken implements CondBehavior.
+func (l LoopCond) Taken(visit uint64) bool {
+	t := l.Trip
+	if t == 0 {
+		t = 1
+	}
+	return visit%t != t-1
+}
+
+// PeriodicCond is taken except once every Period visits (at the given
+// Phase), modeling guards around rarely-executed cold paths: the
+// not-taken visit is the cold episode.
+type PeriodicCond struct {
+	Period uint64
+	Phase  uint64
+}
+
+// Taken implements CondBehavior.
+func (p PeriodicCond) Taken(visit uint64) bool {
+	period := p.Period
+	if period == 0 {
+		period = 1
+	}
+	return (visit+p.Phase)%period != 0
+}
+
+// BiasedCond is taken with probability P, decided by a deterministic
+// per-visit hash so runs are reproducible. Low-entropy sites (P near 0
+// or 1) are easy for TAGE; P near 0.5 yields mispredictions.
+type BiasedCond struct {
+	// P is the taken probability in [0,1].
+	P float64
+	// Salt decorrelates sites that share the same P.
+	Salt uint64
+}
+
+// Taken implements CondBehavior.
+func (b BiasedCond) Taken(visit uint64) bool {
+	h := mix64(visit ^ b.Salt)
+	// Map the hash to [0,1) and compare.
+	return float64(h>>11)/(1<<53) < b.P
+}
+
+// PatternCond replays a fixed boolean pattern, modeling data-dependent
+// but strongly history-correlated branches that TAGE learns perfectly.
+type PatternCond struct {
+	Pattern []bool
+}
+
+// Taken implements CondBehavior.
+func (p PatternCond) Taken(visit uint64) bool {
+	if len(p.Pattern) == 0 {
+		return false
+	}
+	return p.Pattern[visit%uint64(len(p.Pattern))]
+}
+
+// RoundRobinTargets rotates through Targets in order, modeling
+// dispatch-loop indirect calls with a regular schedule (ITTAGE learns
+// these given enough history).
+type RoundRobinTargets struct {
+	Targets []uint64
+}
+
+// Target implements IndirectBehavior.
+func (r RoundRobinTargets) Target(visit uint64) uint64 {
+	if len(r.Targets) == 0 {
+		return 0
+	}
+	return r.Targets[visit%uint64(len(r.Targets))]
+}
+
+// HashTargets picks among Targets pseudo-randomly per visit, modeling
+// megamorphic virtual-call sites that defeat indirect prediction.
+type HashTargets struct {
+	Targets []uint64
+	Salt    uint64
+}
+
+// Target implements IndirectBehavior.
+func (h HashTargets) Target(visit uint64) uint64 {
+	if len(h.Targets) == 0 {
+		return 0
+	}
+	return h.Targets[mix64(visit^h.Salt)%uint64(len(h.Targets))]
+}
+
+// InvertCond negates another behaviour; used for guards that are
+// normally not taken and fire only on cold episodes.
+type InvertCond struct {
+	Inner CondBehavior
+}
+
+// Taken implements CondBehavior.
+func (i InvertCond) Taken(visit uint64) bool { return !i.Inner.Taken(visit) }
+
+// mix64 is a SplitMix64 finalizer: a fast, well-distributed 64-bit hash
+// used wherever the workload needs reproducible pseudo-randomness.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoopCond(t *testing.T) {
+	l := LoopCond{Trip: 4}
+	want := []bool{true, true, true, false, true, true, true, false}
+	for v, w := range want {
+		if got := l.Taken(uint64(v)); got != w {
+			t.Errorf("visit %d: taken=%v, want %v", v, got, w)
+		}
+	}
+	// Degenerate trips never loop.
+	if (LoopCond{Trip: 0}).Taken(0) || (LoopCond{Trip: 1}).Taken(5) {
+		t.Error("trip<=1 should never be taken")
+	}
+}
+
+func TestPeriodicCond(t *testing.T) {
+	p := PeriodicCond{Period: 5, Phase: 0}
+	notTaken := 0
+	for v := uint64(0); v < 50; v++ {
+		if !p.Taken(v) {
+			notTaken++
+		}
+	}
+	if notTaken != 10 {
+		t.Errorf("not-taken %d of 50, want 10", notTaken)
+	}
+	// Phase shifts the firing visit.
+	p2 := PeriodicCond{Period: 5, Phase: 2}
+	if p2.Taken(3) {
+		t.Error("phase-2 period-5 guard should fire at visit 3")
+	}
+	// Zero period must not divide by zero.
+	_ = PeriodicCond{}.Taken(7)
+}
+
+func TestInvertCond(t *testing.T) {
+	p := PeriodicCond{Period: 4}
+	inv := InvertCond{Inner: p}
+	for v := uint64(0); v < 20; v++ {
+		if inv.Taken(v) == p.Taken(v) {
+			t.Fatalf("invert broken at visit %d", v)
+		}
+	}
+}
+
+func TestBiasedCondRate(t *testing.T) {
+	b := BiasedCond{P: 0.7, Salt: 12345}
+	taken := 0
+	const n = 10000
+	for v := uint64(0); v < n; v++ {
+		if b.Taken(v) {
+			taken++
+		}
+	}
+	rate := float64(taken) / n
+	if rate < 0.67 || rate > 0.73 {
+		t.Errorf("taken rate %.3f, want ~0.70", rate)
+	}
+}
+
+func TestBiasedCondDeterministic(t *testing.T) {
+	f := func(salt, visit uint64) bool {
+		b := BiasedCond{P: 0.5, Salt: salt}
+		return b.Taken(visit) == b.Taken(visit)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBiasedCondExtremes(t *testing.T) {
+	always := BiasedCond{P: 1.0, Salt: 9}
+	never := BiasedCond{P: 0.0, Salt: 9}
+	for v := uint64(0); v < 1000; v++ {
+		if !always.Taken(v) {
+			t.Fatalf("P=1 not taken at %d", v)
+		}
+		if never.Taken(v) {
+			t.Fatalf("P=0 taken at %d", v)
+		}
+	}
+}
+
+func TestPatternCond(t *testing.T) {
+	p := PatternCond{Pattern: []bool{true, false, false}}
+	want := []bool{true, false, false, true, false, false}
+	for v, w := range want {
+		if got := p.Taken(uint64(v)); got != w {
+			t.Errorf("visit %d: %v want %v", v, got, w)
+		}
+	}
+	if (PatternCond{}).Taken(3) {
+		t.Error("empty pattern should be not-taken")
+	}
+}
+
+func TestRoundRobinTargets(t *testing.T) {
+	r := RoundRobinTargets{Targets: []uint64{10, 20, 30}}
+	want := []uint64{10, 20, 30, 10, 20}
+	for v, w := range want {
+		if got := r.Target(uint64(v)); got != w {
+			t.Errorf("visit %d: %d want %d", v, got, w)
+		}
+	}
+	if (RoundRobinTargets{}).Target(0) != 0 {
+		t.Error("empty target set should yield 0")
+	}
+}
+
+func TestHashTargetsStaysInSet(t *testing.T) {
+	h := HashTargets{Targets: []uint64{7, 8, 9}, Salt: 4}
+	seen := map[uint64]int{}
+	for v := uint64(0); v < 3000; v++ {
+		tgt := h.Target(v)
+		if tgt != 7 && tgt != 8 && tgt != 9 {
+			t.Fatalf("target %d outside set", tgt)
+		}
+		seen[tgt]++
+	}
+	// All targets should be exercised roughly uniformly.
+	for tgt, n := range seen {
+		if n < 500 {
+			t.Errorf("target %d picked only %d times", tgt, n)
+		}
+	}
+	if (HashTargets{}).Target(1) != 0 {
+		t.Error("empty hash target set should yield 0")
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	x := uint64(0x0123456789abcdef)
+	base := mix64(x)
+	totalFlips := 0
+	for bit := 0; bit < 64; bit++ {
+		diff := base ^ mix64(x^(1<<bit))
+		for d := diff; d != 0; d &= d - 1 {
+			totalFlips++
+		}
+	}
+	avg := float64(totalFlips) / 64
+	if avg < 24 || avg > 40 {
+		t.Errorf("average bit flips %.1f, want ~32", avg)
+	}
+}

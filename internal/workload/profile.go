@@ -1,0 +1,334 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile parameterizes one synthetic benchmark model. The fields encode
+// the structural properties that drive the paper's observations: code
+// footprint (L1-I pressure, Fig. 13), branch-type mix (Fig. 6),
+// cold-branch re-reference structure (BTB capacity misses, Fig. 1), and
+// layout style (BOLT vs not, Section 6.1.4).
+type Profile struct {
+	// Name is the paper's benchmark name (Table 2).
+	Name string
+	// Suite is the benchmark suite the paper drew it from.
+	Suite string
+	// Seed makes generation deterministic per benchmark.
+	Seed int64
+
+	// HotFuncs is the number of frequently-executed functions; together
+	// with block counts it sets the per-iteration instruction footprint.
+	HotFuncs int
+	// ColdFuncs is the number of rarely-executed functions interleaved
+	// with hot code in layout.
+	ColdFuncs int
+	// BlocksPerHotFunc and BlocksPerColdFunc bound the basic blocks per
+	// function [min,max].
+	BlocksPerHotFunc  [2]int
+	BlocksPerColdFunc [2]int
+	// InstsPerBlock bounds the filler instructions per block [min,max].
+	InstsPerBlock [2]int
+
+	// Terminator mix for hot-function blocks; the remainder of the
+	// probability mass falls through to the next block.
+	PCondSkip  float64 // forward conditional skip
+	PInnerLoop float64 // short counted backward loop
+	PCallNext  float64 // direct call to a deeper hot function
+	PIndCall   float64 // indirect call through a rotating target set
+
+	// CondNoise is the fraction of conditional sites that are
+	// hash-random (hard for TAGE) rather than biased or patterned.
+	CondNoise float64
+	// CondTakenBias is the taken probability of biased conditional sites.
+	CondTakenBias float64
+	// InnerTrip bounds inner-loop trip counts [min,max].
+	InnerTrip [2]int
+
+	// Cold-attachment structure. Every hot function gets ColdSitesPerHot
+	// cold attachment points; each fires once every ColdPeriod visits.
+	ColdSitesPerHot int
+	ColdPeriod      int
+	// PColdViaCall is the probability a cold site is a guarded direct
+	// call into a cold function (produces Call+Return BTB misses); the
+	// remainder are outlined cold regions reached by a conditional jump
+	// and left by a direct jump (produces DirectCond+DirectUncond
+	// misses, no call/ret — the kafka-like mix).
+	PColdViaCall float64
+	// PColdTailCall is the probability a cold function ends by direct
+	// tail-jump into another cold function instead of returning.
+	PColdTailCall float64
+	// ColdChainDepth is how many cold functions a cold call may chain
+	// through (deeper chains mean more returns per episode).
+	ColdChainDepth int
+
+	// IndTargets is the fan-out of indirect call sites.
+	IndTargets int
+	// IndMegamorphic is the fraction of indirect sites with hash-random
+	// target selection.
+	IndMegamorphic float64
+
+	// BoltLayout lays hot functions out contiguously before all cold
+	// functions (as BOLT would), reducing hot/cold line sharing.
+	// The default (false) interleaves hot and cold functions tightly.
+	BoltLayout bool
+
+	// CallDepth is the number of hot call-graph levels below the
+	// dispatcher.
+	CallDepth int
+
+	// L1IMPKITarget is the real-system L1-I MPKI the paper reports in
+	// Figure 13, used by the Fig. 13 validation harness.
+	L1IMPKITarget float64
+}
+
+// Validate reports structural problems in a profile.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile has no name")
+	}
+	if p.HotFuncs < 4 {
+		return fmt.Errorf("workload: %s: HotFuncs %d < 4", p.Name, p.HotFuncs)
+	}
+	if p.ColdFuncs < 0 {
+		return fmt.Errorf("workload: %s: negative ColdFuncs", p.Name)
+	}
+	if p.BlocksPerHotFunc[0] < 1 || p.BlocksPerHotFunc[1] < p.BlocksPerHotFunc[0] {
+		return fmt.Errorf("workload: %s: bad BlocksPerHotFunc %v", p.Name, p.BlocksPerHotFunc)
+	}
+	if p.InstsPerBlock[0] < 1 || p.InstsPerBlock[1] < p.InstsPerBlock[0] {
+		return fmt.Errorf("workload: %s: bad InstsPerBlock %v", p.Name, p.InstsPerBlock)
+	}
+	sum := p.PCondSkip + p.PInnerLoop + p.PCallNext + p.PIndCall
+	if sum > 1.0001 {
+		return fmt.Errorf("workload: %s: terminator mix sums to %v > 1", p.Name, sum)
+	}
+	if p.ColdPeriod < 1 {
+		return fmt.Errorf("workload: %s: ColdPeriod %d < 1", p.Name, p.ColdPeriod)
+	}
+	if p.CallDepth < 1 {
+		return fmt.Errorf("workload: %s: CallDepth %d < 1", p.Name, p.CallDepth)
+	}
+	return nil
+}
+
+// registry holds all built-in benchmark profiles keyed by name.
+var registry = map[string]Profile{}
+
+func register(p Profile) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := registry[p.Name]; dup {
+		panic("workload: duplicate profile " + p.Name)
+	}
+	registry[p.Name] = p
+}
+
+// ByName returns the named profile.
+func ByName(name string) (Profile, error) {
+	p, ok := registry[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return p, nil
+}
+
+// Names returns all registered benchmark names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SuiteNames returns the names of the paper's 16-benchmark evaluation
+// suite in the order Figure 14 lists them. The pre-BOLT verilator
+// variant (Section 6.1.4) is registered but not part of the main suite.
+func SuiteNames() []string {
+	return []string{
+		"cassandra", "kafka", "tomcat",
+		"finagle-chirper", "finagle-http", "dotty",
+		"tpcc", "ycsb", "twitter", "voter",
+		"smallbank", "tatp", "sibench", "noop",
+		"verilator-bolted", "speedometer2.0",
+	}
+}
+
+func init() {
+	// Shared defaults: individual profiles override the fields that set
+	// their character (footprint, mix, cold structure). The numbers are
+	// calibrated so the simulated L1-I MPKI ranks like Figure 13 and the
+	// BTB miss-type mixes rank like Figure 6.
+	base := Profile{
+		BlocksPerHotFunc:  [2]int{5, 12},
+		BlocksPerColdFunc: [2]int{2, 5},
+		InstsPerBlock:     [2]int{3, 7},
+		PCondSkip:         0.22,
+		PInnerLoop:        0.08,
+		PCallNext:         0.30,
+		PIndCall:          0.04,
+		CondNoise:         0.05,
+		CondTakenBias:     0.72,
+		InnerTrip:         [2]int{2, 5},
+		ColdSitesPerHot:   2,
+		ColdPeriod:        18,
+		PColdViaCall:      0.70,
+		PColdTailCall:     0.30,
+		ColdChainDepth:    2,
+		IndTargets:        6,
+		IndMegamorphic:    0.25,
+		CallDepth:         3,
+	}
+	derive := func(name, suite string, seed int64, mut func(*Profile)) {
+		p := base
+		p.Name = name
+		p.Suite = suite
+		p.Seed = seed
+		if mut != nil {
+			mut(&p)
+		}
+		register(p)
+	}
+
+	// DaCapo.
+	derive("cassandra", "DaCapo", 101, func(p *Profile) {
+		p.HotFuncs, p.ColdFuncs = 490, 3000
+		p.L1IMPKITarget = 41
+		p.PColdViaCall = 0.75
+		p.ColdPeriod = 12
+		p.ColdSitesPerHot = 3
+	})
+	derive("kafka", "DaCapo", 102, func(p *Profile) {
+		// Kafka: many BTB misses sit on resident lines, but the miss mix
+		// has few direct calls/returns (Fig. 6), so Skia gains little.
+		p.HotFuncs, p.ColdFuncs = 240, 1500
+		p.L1IMPKITarget = 24
+		p.PColdViaCall = 0.10
+		p.PColdTailCall = 0.55
+		p.ColdChainDepth = 1
+		p.ColdPeriod = 8
+		p.ColdSitesPerHot = 2
+	})
+	derive("tomcat", "DaCapo", 103, func(p *Profile) {
+		p.HotFuncs, p.ColdFuncs = 250, 2200
+		p.ColdPeriod = 12
+		p.L1IMPKITarget = 34
+		p.ColdSitesPerHot = 2
+	})
+
+	// Renaissance.
+	derive("finagle-chirper", "Renaissance", 104, func(p *Profile) {
+		// Small footprint, few BTB misses overall: marginal Skia gains.
+		p.HotFuncs, p.ColdFuncs = 215, 420
+		p.L1IMPKITarget = 12
+		p.ColdPeriod = 64
+		p.ColdSitesPerHot = 1
+	})
+	derive("finagle-http", "Renaissance", 105, func(p *Profile) {
+		p.HotFuncs, p.ColdFuncs = 205, 1500
+		p.ColdPeriod = 12
+		p.L1IMPKITarget = 27
+		p.ColdSitesPerHot = 2
+	})
+	derive("dotty", "Renaissance", 106, func(p *Profile) {
+		// Compiler: the largest code footprint in the suite.
+		p.HotFuncs, p.ColdFuncs = 600, 3000
+		p.L1IMPKITarget = 56
+		p.PCallNext = 0.34
+		p.ColdChainDepth = 3
+		p.ColdPeriod = 12
+		p.ColdSitesPerHot = 3
+	})
+
+	// OLTP-Bench on PostgreSQL.
+	derive("tpcc", "OLTP", 107, func(p *Profile) {
+		p.HotFuncs, p.ColdFuncs = 440, 2300
+		p.L1IMPKITarget = 45
+		p.ColdChainDepth = 3
+		p.ColdPeriod = 10
+		p.ColdSitesPerHot = 3
+	})
+	derive("ycsb", "OLTP", 108, func(p *Profile) {
+		p.HotFuncs, p.ColdFuncs = 210, 1600
+		p.L1IMPKITarget = 30
+		p.ColdSitesPerHot = 2
+		p.ColdPeriod = 12
+	})
+	derive("twitter", "OLTP", 109, func(p *Profile) {
+		p.HotFuncs, p.ColdFuncs = 250, 1900
+		p.ColdPeriod = 12
+		p.L1IMPKITarget = 35
+		p.ColdSitesPerHot = 2
+	})
+	derive("voter", "OLTP", 110, func(p *Profile) {
+		// Call/return heavy: the biggest decoder-idle reduction (Fig 18).
+		p.HotFuncs, p.ColdFuncs = 340, 2100
+		p.L1IMPKITarget = 40
+		p.PColdViaCall = 0.95
+		p.ColdChainDepth = 4
+		p.PCallNext = 0.36
+		p.ColdPeriod = 8
+		p.ColdSitesPerHot = 3
+	})
+	derive("smallbank", "OLTP", 111, func(p *Profile) {
+		p.HotFuncs, p.ColdFuncs = 200, 1700
+		p.L1IMPKITarget = 32
+		p.ColdSitesPerHot = 2
+		p.ColdPeriod = 12
+	})
+	derive("tatp", "OLTP", 112, func(p *Profile) {
+		p.HotFuncs, p.ColdFuncs = 200, 1500
+		p.ColdPeriod = 12
+		p.L1IMPKITarget = 29
+		p.ColdSitesPerHot = 2
+	})
+	derive("sibench", "OLTP", 113, func(p *Profile) {
+		// Like voter: direct-uncond/call/ret dominated.
+		p.HotFuncs, p.ColdFuncs = 270, 2000
+		p.L1IMPKITarget = 37
+		p.ColdPeriod = 8
+		p.PColdViaCall = 0.92
+		p.ColdChainDepth = 4
+		p.ColdPeriod = 16
+		p.ColdSitesPerHot = 3
+	})
+	derive("noop", "OLTP", 114, func(p *Profile) {
+		p.HotFuncs, p.ColdFuncs = 185, 1100
+		p.L1IMPKITarget = 19
+	})
+
+	// Chipyard.
+	derive("verilator-bolted", "Chipyard", 115, func(p *Profile) {
+		// BOLT-optimized layout: hot code packed contiguously, so fewer
+		// hot/cold shared lines and fewer BTB misses than pre-BOLT.
+		p.HotFuncs, p.ColdFuncs = 600, 2400
+		p.L1IMPKITarget = 49
+		p.BoltLayout = true
+		p.ColdPeriod = 28
+		p.ColdSitesPerHot = 3
+	})
+	derive("verilator", "Chipyard", 116, func(p *Profile) {
+		// Pre-BOLT verilator (Section 6.1.4): same program, worse
+		// layout, significantly more BTB misses, larger Skia gains.
+		p.HotFuncs, p.ColdFuncs = 600, 2400
+		p.L1IMPKITarget = 60
+		p.BoltLayout = false
+		p.ColdPeriod = 14
+		p.ColdSitesPerHot = 2
+		p.ColdSitesPerHot = 3
+	})
+
+	// BrowserBench.
+	derive("speedometer2.0", "Browser", 117, func(p *Profile) {
+		// JIT-warmed browser score: small steady-state footprint.
+		p.HotFuncs, p.ColdFuncs = 185, 560
+		p.L1IMPKITarget = 13
+		p.ColdPeriod = 56
+		p.PIndCall = 0.08
+		p.IndMegamorphic = 0.5
+	})
+}
