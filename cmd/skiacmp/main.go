@@ -1,0 +1,66 @@
+// Command skiacmp diffs two experiment result sets written by
+// skiaexp -json -out and gates on regressions.
+//
+// Usage:
+//
+//	skiacmp [flags] BASE NEW
+//
+// BASE and NEW are result directories (holding <id>.json files) or
+// single .json report files. Every numeric table cell shared by the
+// two sets is compared: a cell fails when |new-old| exceeds
+// atol + rtol*|old|, and cells in "speedup"-unit columns additionally
+// fail on a sign flip — a who-wins shape regression — regardless of
+// magnitude. Experiments, rows, or columns present in BASE but
+// missing from NEW also fail; additions only warn.
+//
+// Exit status: 0 when NEW is within tolerance of BASE, 1 on any
+// regression, 2 on usage or load errors.
+//
+// Example regression gate:
+//
+//	skiaexp -exp all -json -out results/base   # on main
+//	skiaexp -exp all -json -out results/head   # on the candidate
+//	skiacmp results/base results/head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/compare"
+)
+
+func main() {
+	var (
+		rtol    = flag.Float64("rtol", 0.05, "relative tolerance per numeric cell")
+		atol    = flag.Float64("atol", 1e-6, "absolute tolerance floor for near-zero cells")
+		flipMin = flag.Float64("flip-min", 1e-3, "minimum |speedup| on both sides before a sign flip counts")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: skiacmp [flags] BASE NEW\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := compare.LoadPath(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skiacmp: %v\n", err)
+		os.Exit(2)
+	}
+	head, err := compare.LoadPath(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skiacmp: %v\n", err)
+		os.Exit(2)
+	}
+	res := compare.Diff(base, head, compare.Options{
+		RTol: *rtol, ATol: *atol, FlipMin: *flipMin,
+	})
+	fmt.Print(res)
+	if res.Failed() {
+		os.Exit(1)
+	}
+}

@@ -8,6 +8,13 @@
 //	skiaexp -exp fig14
 //	skiaexp -exp all -measure 3000000
 //	skiaexp -exp fig3 -benchmarks voter,tpcc,kafka -warmup 500000
+//	skiaexp -exp all -json -out results/
+//
+// By default reports render as aligned plain text. With -json each
+// report is emitted as a versioned JSON envelope (schema documented in
+// EXPERIMENTS.md, "Results schema"); with -out DIR the envelopes are
+// written to DIR/<id>.json plus a DIR/manifest.json index, ready for
+// regression diffing with cmd/skiacmp.
 //
 // Absolute numbers will not match the paper's gem5/Alder Lake testbed;
 // the shapes (who wins, by roughly what factor, where crossovers fall)
@@ -16,9 +23,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -67,6 +77,35 @@ var order = []string{
 	"ext-conds",
 }
 
+// manifestEntry indexes one written report in manifest.json.
+type manifestEntry struct {
+	ID          string  `json:"id"`
+	Title       string  `json:"title"`
+	File        string  `json:"file"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// manifest is the top-level index a -json -out run writes alongside
+// the per-experiment files.
+type manifest struct {
+	SchemaVersion    int             `json:"schema_version"`
+	GeneratedAt      string          `json:"generated_at"`
+	GitDescribe      string          `json:"git_describe,omitempty"`
+	Args             []string        `json:"args"`
+	Experiments      []manifestEntry `json:"experiments"`
+	TotalWallSeconds float64         `json:"total_wall_seconds"`
+}
+
+// gitDescribe best-effort identifies the tree that produced a report;
+// empty when git or the repository is unavailable.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
 func main() {
 	var (
 		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
@@ -75,8 +114,13 @@ func main() {
 		measure = flag.Uint64("measure", 0, "measured instructions per run (0 = default)")
 		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: full suite)")
 		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		asJSON  = flag.Bool("json", false, "emit JSON report envelopes instead of plain text")
+		outDir  = flag.String("out", "", "write <id>.json per experiment plus manifest.json into this directory (implies -json)")
 	)
 	flag.Parse()
+	if *outDir != "" {
+		*asJSON = true
+	}
 
 	cat := catalog()
 	if *list || *exp == "" {
@@ -98,9 +142,23 @@ func main() {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
 
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "skiaexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = order
+	}
+	describe := gitDescribe()
+	mf := manifest{
+		SchemaVersion: experiments.SchemaVersion,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GitDescribe:   describe,
+		Args:          os.Args[1:],
 	}
 	for _, id := range ids {
 		fn, ok := cat[id]
@@ -114,7 +172,46 @@ func main() {
 			fmt.Fprintf(os.Stderr, "skiaexp: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Println(rep)
-		fmt.Printf("(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if !*asJSON {
+			fmt.Println(rep)
+			fmt.Printf("(%s in %s)\n\n", id, elapsed.Round(time.Millisecond))
+			continue
+		}
+		rep.Meta.GitDescribe = describe
+		rep.Meta.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skiaexp: %s: marshal: %v\n", id, err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *outDir == "" {
+			os.Stdout.Write(data)
+			continue
+		}
+		file := id + ".json"
+		if err := os.WriteFile(filepath.Join(*outDir, file), data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "skiaexp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		mf.Experiments = append(mf.Experiments, manifestEntry{
+			ID: id, Title: rep.Title, File: file, WallSeconds: elapsed.Seconds(),
+		})
+		mf.TotalWallSeconds += elapsed.Seconds()
+		fmt.Printf("wrote %s (%s in %s)\n", filepath.Join(*outDir, file), id, elapsed.Round(time.Millisecond))
+	}
+	if *outDir != "" {
+		data, err := json.MarshalIndent(mf, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skiaexp: manifest: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*outDir, "manifest.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "skiaexp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", path, len(mf.Experiments))
 	}
 }

@@ -1,0 +1,315 @@
+// Package compare diffs two sets of JSON experiment reports (as
+// written by skiaexp -json -out) cell by cell: it pairs experiments by
+// ID, rows by their label cells, and columns by name, then checks
+// every numeric cell against configurable tolerances. Columns with the
+// "speedup" unit additionally get sign-flip detection — a speedup that
+// changes sign is a "who wins" shape regression regardless of its
+// magnitude. cmd/skiacmp is the CLI; its nonzero exit on Failed
+// results is the regression gate future performance PRs cite.
+package compare
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+// Options tunes the diff.
+type Options struct {
+	// RTol is the relative tolerance: a numeric cell fails when
+	// |new-old| > ATol + RTol*|old|. Default 0.05.
+	RTol float64
+	// ATol is the absolute tolerance floor shielding near-zero cells
+	// from meaningless relative blowups. Default 1e-6.
+	ATol float64
+	// FlipMin is the minimum magnitude both sides of a speedup cell
+	// must have before a sign flip counts (keeps ±0.01% noise from
+	// flagging). Default 1e-3.
+	FlipMin float64
+}
+
+// withDefaults fills unset tolerance fields.
+func (o Options) withDefaults() Options {
+	if o.RTol == 0 {
+		o.RTol = 0.05
+	}
+	if o.ATol == 0 {
+		o.ATol = 1e-6
+	}
+	if o.FlipMin == 0 {
+		o.FlipMin = 1e-3
+	}
+	return o
+}
+
+// Finding is one failing numeric cell.
+type Finding struct {
+	Experiment string
+	Row        string // row key: the row's label cells joined
+	Column     string
+	Unit       string
+	Old, New   float64
+	// Rel is |new-old| / |old| (Inf when old is 0 and new is not).
+	Rel float64
+	// SignFlip marks a speedup column whose sign changed.
+	SignFlip bool
+}
+
+func (f Finding) String() string {
+	kind := fmt.Sprintf("delta %+.4g (%.1f%% rel)", f.New-f.Old, f.Rel*100)
+	if f.SignFlip {
+		kind = "SIGN FLIP (who-wins regression)"
+	}
+	return fmt.Sprintf("%s: [%s] %s: %v -> %v: %s",
+		f.Experiment, f.Row, f.Column, f.Old, f.New, kind)
+}
+
+// Result is the outcome of a diff.
+type Result struct {
+	// Compared counts numeric cells checked.
+	Compared int
+	// Findings lists tolerance violations and sign flips.
+	Findings []Finding
+	// Mismatches lists failing structural differences: experiments,
+	// rows, or columns present in the old set but gone from the new.
+	Mismatches []string
+	// Warnings lists non-failing notes (additions in the new set).
+	Warnings []string
+}
+
+// Failed reports whether the diff should gate (exit nonzero).
+func (r *Result) Failed() bool {
+	return len(r.Findings) > 0 || len(r.Mismatches) > 0
+}
+
+// String renders a human-readable summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	for _, m := range r.Mismatches {
+		fmt.Fprintf(&b, "mismatch: %s\n", m)
+	}
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "fail: %s\n", f)
+	}
+	for _, w := range r.Warnings {
+		fmt.Fprintf(&b, "note: %s\n", w)
+	}
+	verdict := "OK"
+	if r.Failed() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "%s: %d cells compared, %d failures, %d mismatches, %d notes\n",
+		verdict, r.Compared, len(r.Findings), len(r.Mismatches), len(r.Warnings))
+	return b.String()
+}
+
+// LoadPath reads experiment reports from a single .json file or from
+// every *.json in a directory (manifest.json skipped), keyed by
+// experiment ID.
+func LoadPath(path string) (map[string]*experiments.Report, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	files := []string{path}
+	if info.IsDir() {
+		files, err = filepath.Glob(filepath.Join(path, "*.json"))
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string]*experiments.Report)
+	for _, f := range files {
+		if filepath.Base(f) == "manifest.json" {
+			continue
+		}
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := experiments.DecodeReport(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		if _, dup := out[rep.ID]; dup {
+			return nil, fmt.Errorf("%s: duplicate report for experiment %q", f, rep.ID)
+		}
+		out[rep.ID] = rep
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no reports found", path)
+	}
+	return out, nil
+}
+
+// rowKey identifies a row by its label (string-kind) cells so rows
+// still pair up when row order shifts. Tables whose rows carry no
+// string cells fall back to positional pairing via the duplicate-key
+// occurrence index in pairRows.
+func rowKey(row []stats.Cell) string {
+	var parts []string
+	for _, c := range row {
+		if c.Kind == stats.CellStr && c.Text != "" {
+			parts = append(parts, c.Text)
+		}
+	}
+	return strings.Join(parts, "/")
+}
+
+// pairRows indexes rows by key, disambiguating duplicates by
+// occurrence order.
+func pairRows(t *stats.Table) map[string][]stats.Cell {
+	counts := make(map[string]int)
+	out := make(map[string][]stats.Cell)
+	for i := 0; i < t.NumRows(); i++ {
+		row := t.Row(i)
+		k := rowKey(row)
+		if n := counts[k]; n > 0 {
+			k = fmt.Sprintf("%s#%d", k, n)
+		}
+		counts[rowKey(row)]++
+		out[k] = append([]stats.Cell(nil), row...)
+	}
+	return out
+}
+
+// Diff compares two report sets. base is the reference; regressions
+// are judged from its point of view.
+func Diff(base, head map[string]*experiments.Report, opt Options) *Result {
+	opt = opt.withDefaults()
+	res := &Result{}
+	var ids []string
+	for id := range base {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		b, ok := head[id]
+		if !ok {
+			res.Mismatches = append(res.Mismatches,
+				fmt.Sprintf("experiment %q missing from new results", id))
+			continue
+		}
+		diffReport(res, base[id], b, opt)
+	}
+	var extra []string
+	for id := range head {
+		if _, ok := base[id]; !ok {
+			extra = append(extra, id)
+		}
+	}
+	sort.Strings(extra)
+	for _, id := range extra {
+		res.Warnings = append(res.Warnings,
+			fmt.Sprintf("experiment %q only in new results", id))
+	}
+	return res
+}
+
+// diffReport compares one experiment's tables cell by cell.
+func diffReport(res *Result, base, head *experiments.Report, opt Options) {
+	id := base.ID
+	oldCols := base.Table.Columns()
+	newCols := head.Table.Columns()
+	newColIdx := make(map[string]int, len(newCols))
+	for i, c := range newCols {
+		newColIdx[c.Name] = i
+	}
+	for _, c := range newCols {
+		found := false
+		for _, oc := range oldCols {
+			if oc.Name == c.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			res.Warnings = append(res.Warnings,
+				fmt.Sprintf("%s: column %q only in new results", id, c.Name))
+		}
+	}
+
+	newRows := pairRows(head.Table)
+	oldRowSeen := make(map[string]bool)
+	counts := make(map[string]int)
+	for i := 0; i < base.Table.NumRows(); i++ {
+		row := base.Table.Row(i)
+		key := rowKey(row)
+		if n := counts[key]; n > 0 {
+			key = fmt.Sprintf("%s#%d", key, n)
+		}
+		counts[rowKey(row)]++
+		oldRowSeen[key] = true
+		newRow, ok := newRows[key]
+		if !ok {
+			res.Mismatches = append(res.Mismatches,
+				fmt.Sprintf("%s: row [%s] missing from new results", id, key))
+			continue
+		}
+		for ci, col := range oldCols {
+			nj, ok := newColIdx[col.Name]
+			if !ok {
+				if i == 0 {
+					res.Mismatches = append(res.Mismatches,
+						fmt.Sprintf("%s: column %q missing from new results", id, col.Name))
+				}
+				continue
+			}
+			a, b := row[ci], newRow[nj]
+			if a.Kind != b.Kind {
+				res.Mismatches = append(res.Mismatches,
+					fmt.Sprintf("%s: [%s] %s: cell kind changed %s -> %s",
+						id, key, col.Name, a.Kind, b.Kind))
+				continue
+			}
+			if a.Kind != stats.CellNum {
+				continue
+			}
+			res.Compared++
+			checkCell(res, id, key, col, a.Value, b.Value, opt)
+		}
+	}
+	for key := range newRows {
+		if !oldRowSeen[key] {
+			res.Warnings = append(res.Warnings,
+				fmt.Sprintf("%s: row [%s] only in new results", id, key))
+		}
+	}
+}
+
+// checkCell applies the tolerance and sign-flip rules to one numeric
+// cell pair.
+func checkCell(res *Result, id, key string, col stats.Column, a, b float64, opt Options) {
+	if col.Unit == stats.UnitSpeedup &&
+		math.Abs(a) >= opt.FlipMin && math.Abs(b) >= opt.FlipMin &&
+		math.Signbit(a) != math.Signbit(b) {
+		res.Findings = append(res.Findings, Finding{
+			Experiment: id, Row: key, Column: col.Name, Unit: col.Unit,
+			Old: a, New: b, Rel: rel(a, b), SignFlip: true,
+		})
+		return
+	}
+	if math.Abs(b-a) > opt.ATol+opt.RTol*math.Abs(a) {
+		res.Findings = append(res.Findings, Finding{
+			Experiment: id, Row: key, Column: col.Name, Unit: col.Unit,
+			Old: a, New: b, Rel: rel(a, b),
+		})
+	}
+}
+
+// rel returns |b-a|/|a|, Inf for a==0 with b!=0, 0 when both are 0.
+func rel(a, b float64) float64 {
+	if a == 0 {
+		if b == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(b-a) / math.Abs(a)
+}

@@ -1,0 +1,178 @@
+package compare
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+// mkReport builds a small two-row report in the shape the harnesses
+// emit: a label column, an IPC column, and a speedup column.
+func mkReport(id string, ipc, gain float64) *experiments.Report {
+	tb := stats.NewTable("benchmark", "ipc", "gain").
+		SetUnits(stats.UnitNone, stats.UnitIPC, stats.UnitSpeedup)
+	tb.AddCells(stats.Str("voter"), stats.Num(ipc, "x"), stats.Num(gain, "y"))
+	tb.AddCells(stats.Str("kafka"), stats.Num(1.5, "1.5"), stats.Num(0.01, "1%"))
+	return &experiments.Report{ID: id, Title: "test " + id, Table: tb}
+}
+
+func writeDir(t *testing.T, reps ...*experiments.Report) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, r := range reps {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, r.ID+".json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A manifest must be skipped, not parsed as a report.
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(`{"schema_version":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestIdenticalDirsPass(t *testing.T) {
+	dir := writeDir(t, mkReport("fig14", 2.4, 0.05), mkReport("bolt", 2.0, 0.10))
+	a, err := LoadPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Diff(a, b, Options{})
+	if res.Failed() {
+		t.Errorf("identical dirs failed:\n%s", res)
+	}
+	// 2 reports x 2 rows x 2 numeric columns.
+	if res.Compared != 8 {
+		t.Errorf("Compared = %d", res.Compared)
+	}
+}
+
+func TestToleranceExceedingDeltaFails(t *testing.T) {
+	a := map[string]*experiments.Report{"fig14": mkReport("fig14", 2.4, 0.05)}
+	// 10% IPC delta against the default 5% relative tolerance.
+	b := map[string]*experiments.Report{"fig14": mkReport("fig14", 2.64, 0.05)}
+	res := Diff(a, b, Options{})
+	if !res.Failed() || len(res.Findings) != 1 {
+		t.Fatalf("10%% delta not flagged:\n%s", res)
+	}
+	f := res.Findings[0]
+	if f.Column != "ipc" || f.SignFlip || math.Abs(f.Rel-0.1) > 1e-9 {
+		t.Errorf("finding = %+v", f)
+	}
+	// The same delta passes under a looser tolerance.
+	if res := Diff(a, b, Options{RTol: 0.2}); res.Failed() {
+		t.Errorf("20%% tolerance still failed:\n%s", res)
+	}
+}
+
+func TestSpeedupSignFlipFails(t *testing.T) {
+	a := map[string]*experiments.Report{"fig14": mkReport("fig14", 2.4, 0.05)}
+	b := map[string]*experiments.Report{"fig14": mkReport("fig14", 2.4, -0.05)}
+	res := Diff(a, b, Options{})
+	if !res.Failed() || len(res.Findings) != 1 || !res.Findings[0].SignFlip {
+		t.Fatalf("sign flip not flagged:\n%s", res)
+	}
+	// A flip inside the noise floor does not count as a flip, but the
+	// delta rule still applies: widen RTol so it alone is in play.
+	a["fig14"] = mkReport("fig14", 2.4, 0.0002)
+	b["fig14"] = mkReport("fig14", 2.4, -0.0002)
+	res = Diff(a, b, Options{RTol: 1000})
+	for _, f := range res.Findings {
+		if f.SignFlip {
+			t.Errorf("noise-floor flip flagged: %+v", f)
+		}
+	}
+}
+
+func TestMissingExperimentRowColumnFail(t *testing.T) {
+	a := map[string]*experiments.Report{
+		"fig14": mkReport("fig14", 2.4, 0.05),
+		"bolt":  mkReport("bolt", 2.0, 0.10),
+	}
+	b := map[string]*experiments.Report{"fig14": mkReport("fig14", 2.4, 0.05)}
+	res := Diff(a, b, Options{})
+	if !res.Failed() || len(res.Mismatches) != 1 {
+		t.Fatalf("missing experiment not flagged:\n%s", res)
+	}
+	// Extra experiments in the new set warn but do not fail.
+	res = Diff(b, a, Options{})
+	if res.Failed() || len(res.Warnings) != 1 {
+		t.Errorf("extra experiment should warn only:\n%s", res)
+	}
+
+	// Missing row.
+	short := mkReport("fig14", 2.4, 0.05)
+	tb := stats.NewTable("benchmark", "ipc", "gain").
+		SetUnits(stats.UnitNone, stats.UnitIPC, stats.UnitSpeedup)
+	tb.AddCells(stats.Str("voter"), stats.Num(2.4, "x"), stats.Num(0.05, "y"))
+	res = Diff(map[string]*experiments.Report{"fig14": short},
+		map[string]*experiments.Report{"fig14": {ID: "fig14", Title: "t", Table: tb}}, Options{})
+	if !res.Failed() || !strings.Contains(res.String(), "row [kafka] missing") {
+		t.Errorf("missing row not flagged:\n%s", res)
+	}
+
+	// Missing column.
+	tb2 := stats.NewTable("benchmark", "ipc").SetUnits(stats.UnitNone, stats.UnitIPC)
+	tb2.AddCells(stats.Str("voter"), stats.Num(2.4, "x"))
+	tb2.AddCells(stats.Str("kafka"), stats.Num(1.5, "1.5"))
+	res = Diff(map[string]*experiments.Report{"fig14": mkReport("fig14", 2.4, 0.05)},
+		map[string]*experiments.Report{"fig14": {ID: "fig14", Title: "t", Table: tb2}}, Options{})
+	if !res.Failed() || !strings.Contains(res.String(), `column "gain" missing`) {
+		t.Errorf("missing column not flagged:\n%s", res)
+	}
+}
+
+func TestLoadPathSingleFileAndErrors(t *testing.T) {
+	dir := writeDir(t, mkReport("fig14", 2.4, 0.05))
+	reps, err := LoadPath(filepath.Join(dir, "fig14.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || reps["fig14"] == nil {
+		t.Errorf("reps = %+v", reps)
+	}
+	if _, err := LoadPath(filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("missing path accepted")
+	}
+	empty := t.TempDir()
+	if _, err := LoadPath(empty); err == nil {
+		t.Error("empty dir accepted")
+	}
+	// Duplicate IDs across files must be rejected.
+	data, _ := json.Marshal(mkReport("fig14", 2.4, 0.05))
+	if err := os.WriteFile(filepath.Join(dir, "copy.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPath(dir); err == nil {
+		t.Error("duplicate experiment IDs accepted")
+	}
+}
+
+func TestRowsPairByLabelNotPosition(t *testing.T) {
+	// Same rows, different order: must still pass.
+	a := mkReport("fig14", 2.4, 0.05)
+	tb := stats.NewTable("benchmark", "ipc", "gain").
+		SetUnits(stats.UnitNone, stats.UnitIPC, stats.UnitSpeedup)
+	tb.AddCells(stats.Str("kafka"), stats.Num(1.5, "1.5"), stats.Num(0.01, "1%"))
+	tb.AddCells(stats.Str("voter"), stats.Num(2.4, "x"), stats.Num(0.05, "y"))
+	b := &experiments.Report{ID: "fig14", Title: "t", Table: tb}
+	res := Diff(map[string]*experiments.Report{"fig14": a},
+		map[string]*experiments.Report{"fig14": b}, Options{})
+	if res.Failed() {
+		t.Errorf("reordered rows failed:\n%s", res)
+	}
+}

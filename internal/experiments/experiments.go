@@ -5,6 +5,15 @@
 // Absolute numbers differ from the paper's gem5 testbed; the harnesses
 // exist to reproduce the shapes: who wins, by roughly what factor, and
 // where the crossovers fall.
+//
+// Every Report renders both as aligned plain text (Report.String) and
+// as machine-readable JSON (Report.MarshalJSON): a versioned envelope
+// carrying run metadata — benchmarks and seeds, instruction windows,
+// config labels, git version, simulator throughput — around a typed
+// table whose numeric cells keep their float values alongside the
+// rendered text. cmd/skiaexp writes these files with -json/-out and
+// cmd/skiacmp diffs two result sets as a regression gate. The schema
+// is documented field by field in EXPERIMENTS.md ("Results schema").
 package experiments
 
 import (
@@ -51,6 +60,10 @@ type Report struct {
 	Table *stats.Table
 	// Notes carries shape checks and caveats.
 	Notes []string
+	// Meta is the run-metadata envelope serialized with the JSON
+	// form; harnesses fill it via Options.stamp and cmd/skiaexp adds
+	// the git version and timestamp.
+	Meta RunMeta
 }
 
 // String renders the report.
@@ -93,3 +106,22 @@ func f3(f float64) string { return fmt.Sprintf("%.3f", f) }
 
 // f2 formats with two decimals.
 func f2(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// Typed-cell constructors: each keeps the exact rendering the plain
+// text tables have always used while preserving the numeric value for
+// the JSON form.
+
+// cStr builds a label cell.
+func cStr(s string) stats.Cell { return stats.Str(s) }
+
+// cPct builds a numeric cell holding a fraction, rendered as a percent.
+func cPct(f float64) stats.Cell { return stats.Num(f, pct(f)) }
+
+// cF3 and cF2 build numeric cells with three/two-decimal rendering.
+func cF3(f float64) stats.Cell { return stats.Num(f, f3(f)) }
+func cF2(f float64) stats.Cell { return stats.Num(f, f2(f)) }
+
+// cInt builds a numeric cell from an integer count.
+func cInt[T int | int64 | uint64](n T) stats.Cell {
+	return stats.Num(float64(n), fmt.Sprint(n))
+}

@@ -41,7 +41,9 @@ func Table1() *Report {
 // Table2 renders the benchmark registry (paper Table 2) together with
 // each model's structural parameters.
 func Table2() (*Report, error) {
-	tb := stats.NewTable("benchmark", "suite", "hot_funcs", "cold_funcs", "cold_mix", "layout")
+	tb := stats.NewTable("benchmark", "suite", "hot_funcs", "cold_funcs", "cold_mix", "layout").
+		SetUnits(stats.UnitNone, stats.UnitNone, stats.UnitCount, stats.UnitCount,
+			stats.UnitNone, stats.UnitNone)
 	for _, name := range workload.SuiteNames() {
 		p, err := workload.ByName(name)
 		if err != nil {
@@ -52,8 +54,8 @@ func Table2() (*Report, error) {
 		if p.BoltLayout {
 			layout = "bolt"
 		}
-		tb.AddRow(p.Name, p.Suite, fmt.Sprintf("%d", p.HotFuncs),
-			fmt.Sprintf("%d", p.ColdFuncs), mix, layout)
+		tb.AddCells(cStr(p.Name), cStr(p.Suite), cInt(p.HotFuncs),
+			cInt(p.ColdFuncs), cStr(mix), cStr(layout))
 	}
 	return &Report{ID: "table2", Title: "Benchmark suite", Table: tb}, nil
 }
@@ -73,19 +75,20 @@ func Bolt(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tb := stats.NewTable("variant", "baseline_ipc", "skia_ipc", "speedup", "baseline_btb_mpki")
+	tb := stats.NewTable("variant", "baseline_ipc", "skia_ipc", "speedup", "baseline_btb_mpki").
+		SetUnits(stats.UnitNone, stats.UnitIPC, stats.UnitIPC, stats.UnitSpeedup, stats.UnitMPKI)
 	rep := &Report{ID: "bolt", Title: "Skia on pre-BOLT vs bolted verilator", Table: tb}
 	var gains []float64
 	for i, b := range variants {
 		base, skia := results[2*i], results[2*i+1]
 		gain := stats.Speedup(skia.IPC, base.IPC)
 		gains = append(gains, gain)
-		tb.AddRow(b, f3(base.IPC), f3(skia.IPC), pct(gain), f2(base.BTBMissMPKI))
+		tb.AddCells(cStr(b), cF3(base.IPC), cF3(skia.IPC), cPct(gain), cF2(base.BTBMissMPKI))
 	}
 	rep.Notes = append(rep.Notes, fmt.Sprintf(
 		"paper: pre-BOLT gains (10.27%%) exceed bolted gains; measured %s vs %s",
 		pct(gains[0]), pct(gains[1])))
-	return rep, nil
+	return o.stamp(rep, r, variants), nil
 }
 
 // AblationIndexPolicy sweeps the Head decoder's start-index policy
@@ -115,7 +118,8 @@ func AblationIndexPolicy(o Options) (*Report, error) {
 	for i := range benches {
 		baseIPC[i] = results[i].IPC
 	}
-	tb := stats.NewTable("policy", "geomean_speedup", "bogus_inserts")
+	tb := stats.NewTable("policy", "geomean_speedup", "bogus_inserts").
+		SetUnits(stats.UnitNone, stats.UnitSpeedup, stats.UnitCount)
 	rep := &Report{ID: "ablation-index", Title: "Head decode index policy (First/Zero/Merge)", Table: tb}
 	idx := n
 	for _, pol := range policies {
@@ -126,9 +130,9 @@ func AblationIndexPolicy(o Options) (*Report, error) {
 			bogus += results[idx].FE.SBDBogusInserts
 			idx++
 		}
-		tb.AddRow(pol.String(), pct(stats.GeomeanSpeedup(ipcs, baseIPC)), fmt.Sprintf("%d", bogus))
+		tb.AddCells(cStr(pol.String()), cPct(stats.GeomeanSpeedup(ipcs, baseIPC)), cInt(bogus))
 	}
-	return rep, nil
+	return o.stamp(rep, r, benches), nil
 }
 
 // AblationPathCap sweeps the Head decoder's valid-path cap (paper
@@ -160,7 +164,8 @@ func AblationPathCap(o Options, caps []int) (*Report, error) {
 	for i := range benches {
 		baseIPC[i] = results[i].IPC
 	}
-	tb := stats.NewTable("max_valid_paths", "geomean_speedup", "head_discard_frac", "bogus_inserts")
+	tb := stats.NewTable("max_valid_paths", "geomean_speedup", "head_discard_frac", "bogus_inserts").
+		SetUnits(stats.UnitNone, stats.UnitSpeedup, stats.UnitFrac, stats.UnitCount)
 	rep := &Report{ID: "ablation-pathcap", Title: "Head decode valid-path cap", Table: tb}
 	idx := n
 	for _, c := range caps {
@@ -177,10 +182,10 @@ func AblationPathCap(o Options, caps []int) (*Report, error) {
 		if regions > 0 {
 			frac = float64(disc) / float64(regions)
 		}
-		tb.AddRow(fmt.Sprintf("%d", c), pct(stats.GeomeanSpeedup(ipcs, baseIPC)),
-			pct(frac), fmt.Sprintf("%d", bogus))
+		tb.AddCells(cStr(fmt.Sprintf("%d", c)), cPct(stats.GeomeanSpeedup(ipcs, baseIPC)),
+			cPct(frac), cInt(bogus))
 	}
-	return rep, nil
+	return o.stamp(rep, r, benches), nil
 }
 
 // AblationReplacement compares the SBB's retired-first eviction
@@ -219,7 +224,8 @@ func AblationReplacement(o Options) (*Report, error) {
 	for i := range benches {
 		baseIPC[i] = results[i].IPC
 	}
-	tb := stats.NewTable("variant", "geomean_speedup", "sbb_covered", "bogus_used")
+	tb := stats.NewTable("variant", "geomean_speedup", "sbb_covered", "bogus_used").
+		SetUnits(stats.UnitNone, stats.UnitSpeedup, stats.UnitCount, stats.UnitCount)
 	rep := &Report{ID: "ablation-replacement", Title: "SBB replacement and insert-filter ablations", Table: tb}
 	idx := n
 	for _, v := range variants {
@@ -231,10 +237,10 @@ func AblationReplacement(o Options) (*Report, error) {
 			ipcs[i] = results[idx].IPC
 			idx++
 		}
-		tb.AddRow(v.name, pct(stats.GeomeanSpeedup(ipcs, baseIPC)),
-			fmt.Sprintf("%d", cov), fmt.Sprintf("%d", bogus))
+		tb.AddCells(cStr(v.name), cPct(stats.GeomeanSpeedup(ipcs, baseIPC)),
+			cInt(cov), cInt(bogus))
 	}
-	return rep, nil
+	return o.stamp(rep, r, benches), nil
 }
 
 // AblationInsertIntoBTB compares the paper's parallel SBB against
@@ -276,15 +282,16 @@ func AblationInsertIntoBTB(o Options) (*Report, error) {
 		dirIPC[i] = results[2*n+i].IPC
 		dirPhantoms += results[2*n+i].FE.PhantomBranches
 	}
-	tb := stats.NewTable("design", "geomean_speedup", "phantom_branches")
+	tb := stats.NewTable("design", "geomean_speedup", "phantom_branches").
+		SetUnits(stats.UnitNone, stats.UnitSpeedup, stats.UnitCount)
 	rep := &Report{ID: "ablation-sbdtobtb", Title: "Parallel SBB vs inserting shadow branches into the BTB", Table: tb}
 	var sbbPhantoms uint64
 	for i := 0; i < n; i++ {
 		sbbPhantoms += results[n+i].FE.PhantomBranches
 	}
-	tb.AddRow("parallel SBB (paper)", pct(stats.GeomeanSpeedup(sbbIPC, baseIPC)), fmt.Sprintf("%d", sbbPhantoms))
-	tb.AddRow("direct to BTB", pct(stats.GeomeanSpeedup(dirIPC, baseIPC)), fmt.Sprintf("%d", dirPhantoms))
-	return rep, nil
+	tb.AddCells(cStr("parallel SBB (paper)"), cPct(stats.GeomeanSpeedup(sbbIPC, baseIPC)), cInt(sbbPhantoms))
+	tb.AddCells(cStr("direct to BTB"), cPct(stats.GeomeanSpeedup(dirIPC, baseIPC)), cInt(dirPhantoms))
+	return o.stamp(rep, r, benches), nil
 }
 
 // AblationWrongPath disables wrong-path prefetching during execute
@@ -309,7 +316,8 @@ func AblationWrongPath(o Options) (*Report, error) {
 		return nil, err
 	}
 	n := len(benches)
-	tb := stats.NewTable("benchmark", "wrongpath_blocks_frac", "pollution_evicted", "ipc", "ipc_instant_resolve")
+	tb := stats.NewTable("benchmark", "wrongpath_blocks_frac", "pollution_evicted", "ipc", "ipc_instant_resolve").
+		SetUnits(stats.UnitNone, stats.UnitFrac, stats.UnitCount, stats.UnitIPC, stats.UnitIPC)
 	rep := &Report{ID: "ablation-wrongpath", Title: "Wrong-path fetch volume and cost", Table: tb}
 	for i, b := range benches {
 		base := results[i]
@@ -319,10 +327,10 @@ func AblationWrongPath(o Options) (*Report, error) {
 		if tot > 0 {
 			frac = float64(base.FE.WrongPathBlocks) / float64(tot)
 		}
-		tb.AddRow(b, pct(frac), fmt.Sprintf("%d", base.L1I.PollutionEvicted),
-			f3(base.IPC), f3(inst.IPC))
+		tb.AddCells(cStr(b), cPct(frac), cInt(base.L1I.PollutionEvicted),
+			cF3(base.IPC), cF3(inst.IPC))
 	}
-	return rep, nil
+	return o.stamp(rep, r, benches), nil
 }
 
 // ExtensionShadowConds evaluates the beyond-paper extension: letting
@@ -364,11 +372,12 @@ func ExtensionShadowConds(o Options) (*Report, error) {
 		extCov += results[2*n+i].FE.SBBCoveredTotal()
 		extPhantom += results[2*n+i].FE.PhantomBranches
 	}
-	tb := stats.NewTable("design", "geomean_speedup", "sbb_covered")
+	tb := stats.NewTable("design", "geomean_speedup", "sbb_covered").
+		SetUnits(stats.UnitNone, stats.UnitSpeedup, stats.UnitCount)
 	rep := &Report{ID: "ext-conds", Title: "Extension: shadow conditionals in the U-SBB", Table: tb}
-	tb.AddRow("skia (paper: U+R only)", pct(stats.GeomeanSpeedup(skiaIPC, baseIPC)), fmt.Sprintf("%d", skiaCov))
-	tb.AddRow("skia + shadow conds", pct(stats.GeomeanSpeedup(extIPC, baseIPC)), fmt.Sprintf("%d", extCov))
+	tb.AddCells(cStr("skia (paper: U+R only)"), cPct(stats.GeomeanSpeedup(skiaIPC, baseIPC)), cInt(skiaCov))
+	tb.AddCells(cStr("skia + shadow conds"), cPct(stats.GeomeanSpeedup(extIPC, baseIPC)), cInt(extCov))
 	rep.Notes = append(rep.Notes, fmt.Sprintf(
 		"extension phantoms: %d; conditionals compete for U-SBB capacity with the jumps and calls", extPhantom))
-	return rep, nil
+	return o.stamp(rep, r, benches), nil
 }

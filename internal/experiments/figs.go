@@ -35,7 +35,8 @@ func Fig1(o Options, sizes []int) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tb := stats.NewTable("btb_entries", "miss_mpki", "miss_l1i_hit_mpki", "l1i_hit_frac")
+	tb := stats.NewTable("btb_entries", "miss_mpki", "miss_l1i_hit_mpki", "l1i_hit_frac").
+		SetUnits(stats.UnitNone, stats.UnitMPKI, stats.UnitMPKI, stats.UnitFrac)
 	rep := &Report{ID: "fig1", Title: "BTB miss MPKI and fraction resident in L1-I vs BTB size", Table: tb}
 	i := 0
 	var frac8k float64
@@ -55,11 +56,11 @@ func Fig1(o Options, sizes []int) (*Report, error) {
 		if size == 8192 {
 			frac8k = frac
 		}
-		tb.AddRow(fmt.Sprintf("%d", size), f2(m), f2(h), pct(frac))
+		tb.AddCells(cStr(fmt.Sprintf("%d", size)), cF2(m), cF2(h), cPct(frac))
 	}
 	rep.Notes = append(rep.Notes, fmt.Sprintf(
 		"paper: ~75%% of 8K-BTB misses are L1-I resident; measured %s", pct(frac8k)))
-	return rep, nil
+	return o.stamp(rep, r, benches), nil
 }
 
 // Fig3Sizes is the BTB sweep for the Figure 3 headline plot.
@@ -135,22 +136,23 @@ func Fig3(o Options, sizes []int) (*Report, error) {
 	baseKey := fmt.Sprintf("btb/%d", sizes[0])
 	base := ipc[baseKey]
 
-	tb := stats.NewTable("btb_entries", "btb", "btb+state", "btb+sbb", "infinite")
+	tb := stats.NewTable("btb_entries", "btb", "btb+state", "btb+sbb", "infinite").
+		SetUnits(stats.UnitNone, stats.UnitSpeedup, stats.UnitSpeedup, stats.UnitSpeedup, stats.UnitSpeedup)
 	rep := &Report{ID: "fig3", Title: "Geomean speedup vs 4K-entry BTB across designs", Table: tb}
 	speedup := func(key string) float64 { return stats.GeomeanSpeedup(ipc[key], base) }
 	for _, size := range sizes {
-		tb.AddRow(fmt.Sprintf("%d", size),
-			pct(speedup(fmt.Sprintf("btb/%d", size))),
-			pct(speedup(fmt.Sprintf("btb+state/%d", size))),
-			pct(speedup(fmt.Sprintf("btb+sbb/%d", size))),
-			pct(speedup(fmt.Sprintf("infinite/%d", sizes[0]))))
+		tb.AddCells(cStr(fmt.Sprintf("%d", size)),
+			cPct(speedup(fmt.Sprintf("btb/%d", size))),
+			cPct(speedup(fmt.Sprintf("btb+state/%d", size))),
+			cPct(speedup(fmt.Sprintf("btb+sbb/%d", size))),
+			cPct(speedup(fmt.Sprintf("infinite/%d", sizes[0]))))
 	}
 	// Shape check at 8K: sbb > state > plain.
 	s8, st8, p8 := speedup("btb+sbb/8192"), speedup("btb+state/8192"), speedup("btb/8192")
 	rep.Notes = append(rep.Notes, fmt.Sprintf(
 		"shape at 8K: skia %s vs btb+state %s vs btb %s (paper: skia beats equal-state BTB until saturation)",
 		pct(s8), pct(st8), pct(p8)))
-	return rep, nil
+	return o.stamp(rep, r, benches), nil
 }
 
 // Fig6 reproduces Figure 6: BTB misses by branch type per benchmark at
@@ -166,24 +168,26 @@ func Fig6(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tb := stats.NewTable("benchmark", "total_mpki", "cond%", "uncond%", "call%", "return%", "indirect%")
+	tb := stats.NewTable("benchmark", "total_mpki", "cond%", "uncond%", "call%", "return%", "indirect%").
+		SetUnits(stats.UnitNone, stats.UnitMPKI, stats.UnitFrac, stats.UnitFrac,
+			stats.UnitFrac, stats.UnitFrac, stats.UnitFrac)
 	rep := &Report{ID: "fig6", Title: "BTB misses by branch type (8K BTB)", Table: tb}
 	for i, b := range benches {
 		fe := results[i].FE
 		tot := float64(fe.BTBMissTotal())
-		pc := func(v uint64) string {
+		pc := func(v uint64) stats.Cell {
 			if tot == 0 {
-				return "0.00%"
+				return cPct(0)
 			}
-			return pct(float64(v) / tot)
+			return cPct(float64(v) / tot)
 		}
-		tb.AddRow(b, f2(results[i].BTBMissMPKI),
+		tb.AddCells(cStr(b), cF2(results[i].BTBMissMPKI),
 			pc(fe.BTBMissCond), pc(fe.BTBMissUncond), pc(fe.BTBMissCall),
 			pc(fe.BTBMissReturn), pc(fe.BTBMissIndirect))
 	}
 	rep.Notes = append(rep.Notes,
 		"paper: indirect misses are a vanishing fraction everywhere; direct types dominate")
-	return rep, nil
+	return o.stamp(rep, r, benches), nil
 }
 
 // Fig13 reproduces Figure 13: simulated L1-I MPKI against the
@@ -199,7 +203,8 @@ func Fig13(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tb := stats.NewTable("benchmark", "target_mpki", "simulated_mpki", "diff")
+	tb := stats.NewTable("benchmark", "target_mpki", "simulated_mpki", "diff").
+		SetUnits(stats.UnitNone, stats.UnitMPKI, stats.UnitMPKI, stats.UnitFrac)
 	rep := &Report{ID: "fig13", Title: "L1-I MPKI: reference target vs simulation", Table: tb}
 	var totT, totS float64
 	for i, b := range benches {
@@ -215,12 +220,12 @@ func Fig13(o Options) (*Report, error) {
 		if target > 0 {
 			diff = (got - target) / target
 		}
-		tb.AddRow(b, f2(target), f2(got), pct(diff))
+		tb.AddCells(cStr(b), cF2(target), cF2(got), cPct(diff))
 	}
 	rep.Notes = append(rep.Notes, fmt.Sprintf(
 		"aggregate difference %s (paper reports <18%% between real system and gem5)",
 		pct(math.Abs(totS-totT)/totT)))
-	return rep, nil
+	return o.stamp(rep, r, benches), nil
 }
 
 // Fig14 reproduces Figure 14: per-benchmark IPC gain over the 8K-BTB
@@ -269,23 +274,24 @@ func Fig14(o Options) (*Report, error) {
 			i++
 		}
 	}
-	tb := stats.NewTable("benchmark", "head", "tail", "both")
+	tb := stats.NewTable("benchmark", "head", "tail", "both").
+		SetUnits(stats.UnitNone, stats.UnitSpeedup, stats.UnitSpeedup, stats.UnitSpeedup)
 	rep := &Report{ID: "fig14", Title: "IPC gain over 8K-BTB baseline by shadow-decode variant", Table: tb}
 	for bi, b := range benches {
 		base := ipcs["baseline"][bi]
-		tb.AddRow(b,
-			pct(stats.Speedup(ipcs["head"][bi], base)),
-			pct(stats.Speedup(ipcs["tail"][bi], base)),
-			pct(stats.Speedup(ipcs["both"][bi], base)))
+		tb.AddCells(cStr(b),
+			cPct(stats.Speedup(ipcs["head"][bi], base)),
+			cPct(stats.Speedup(ipcs["tail"][bi], base)),
+			cPct(stats.Speedup(ipcs["both"][bi], base)))
 	}
 	gh := stats.GeomeanSpeedup(ipcs["head"], ipcs["baseline"])
 	gt := stats.GeomeanSpeedup(ipcs["tail"], ipcs["baseline"])
 	gb := stats.GeomeanSpeedup(ipcs["both"], ipcs["baseline"])
-	tb.AddRow("GEOMEAN", pct(gh), pct(gt), pct(gb))
+	tb.AddCells(cStr("GEOMEAN"), cPct(gh), cPct(gt), cPct(gb))
 	rep.Notes = append(rep.Notes, fmt.Sprintf(
 		"paper geomeans: head +3.68%%, tail +4.39%%, both +5.64%%; measured head %s, tail %s, both %s",
 		pct(gh), pct(gt), pct(gb)))
-	return rep, nil
+	return o.stamp(rep, r, benches), nil
 }
 
 // Fig15 reproduces Figure 15: per-benchmark BTB-miss MPKI split by
@@ -301,15 +307,16 @@ func Fig15(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tb := stats.NewTable("benchmark", "miss_l1i_hit_mpki", "miss_l1i_miss_mpki", "hit_frac")
+	tb := stats.NewTable("benchmark", "miss_l1i_hit_mpki", "miss_l1i_miss_mpki", "hit_frac").
+		SetUnits(stats.UnitNone, stats.UnitMPKI, stats.UnitMPKI, stats.UnitFrac)
 	rep := &Report{ID: "fig15", Title: "BTB misses with L1-I hit vs miss (8K BTB)", Table: tb}
 	for i, b := range benches {
 		res := results[i]
 		hit := stats.MPKI(res.FE.BTBMissL1IHit, res.Instructions)
 		miss := res.BTBMissMPKI - hit
-		tb.AddRow(b, f2(hit), f2(miss), pct(res.BTBMissL1IHitFrac))
+		tb.AddCells(cStr(b), cF2(hit), cF2(miss), cPct(res.BTBMissL1IHitFrac))
 	}
-	return rep, nil
+	return o.stamp(rep, r, benches), nil
 }
 
 // Fig16 reproduces Figure 16: BTB miss MPKI for the baseline, for a BTB
@@ -338,14 +345,15 @@ func Fig16(o Options) (*Report, error) {
 		return nil, err
 	}
 	n := len(benches)
-	tb := stats.NewTable("benchmark", "baseline_mpki", "btb+state_mpki", "skia_effective_mpki")
+	tb := stats.NewTable("benchmark", "baseline_mpki", "btb+state_mpki", "skia_effective_mpki").
+		SetUnits(stats.UnitNone, stats.UnitMPKI, stats.UnitMPKI, stats.UnitMPKI)
 	rep := &Report{ID: "fig16", Title: "BTB miss MPKI: baseline vs equal-state BTB vs Skia", Table: tb}
 	var redState, redSkia []float64
 	for i, b := range benches {
 		base := results[i].BTBMissMPKI
 		state := results[i+n].BTBMissMPKI
 		skia := results[i+2*n].EffectiveMissMPKI
-		tb.AddRow(b, f2(base), f2(state), f2(skia))
+		tb.AddCells(cStr(b), cF2(base), cF2(state), cF2(skia))
 		if base > 0 {
 			redState = append(redState, (base-state)/base)
 			redSkia = append(redSkia, (base-skia)/base)
@@ -354,7 +362,7 @@ func Fig16(o Options) (*Report, error) {
 	rep.Notes = append(rep.Notes, fmt.Sprintf(
 		"mean reduction: btb+state %s, skia %s (paper: Skia reduces far more than equal-state BTB)",
 		pct(stats.Mean(redState)), pct(stats.Mean(redSkia))))
-	return rep, nil
+	return o.stamp(rep, r, benches), nil
 }
 
 // Fig17Splits are the U-SBB budget fractions swept by the Figure 17
@@ -427,7 +435,9 @@ func Fig17(o Options) (*Report, error) {
 		return out
 	}
 
-	tb := stats.NewTable("sweep", "config", "u_entries", "r_entries", "size_kb", "geomean_speedup")
+	tb := stats.NewTable("sweep", "config", "u_entries", "r_entries", "size_kb", "geomean_speedup").
+		SetUnits(stats.UnitNone, stats.UnitNone, stats.UnitCount, stats.UnitCount,
+			stats.UnitKB, stats.UnitSpeedup)
 	rep := &Report{ID: "fig17", Title: "SBB sensitivity: U/R split at fixed budget; total-size scaling", Table: tb}
 	var bestSplit float64
 	var bestSplitGain = math.Inf(-1)
@@ -437,21 +447,21 @@ func Fig17(o Options) (*Report, error) {
 		if g > bestSplitGain {
 			bestSplitGain, bestSplit = g, frac
 		}
-		tb.AddRow("split", fmt.Sprintf("U=%.0f%%", frac*100),
-			fmt.Sprintf("%d", cfg.UEntries), fmt.Sprintf("%d", cfg.REntries),
-			f2(float64(cfg.StorageBits())/8/1024), pct(g))
+		tb.AddCells(cStr("split"), cStr(fmt.Sprintf("U=%.0f%%", frac*100)),
+			cInt(cfg.UEntries), cInt(cfg.REntries),
+			cF2(float64(cfg.StorageBits())/8/1024), cPct(g))
 	}
 	for _, scale := range Fig17Scales {
 		cfg := mkScale(scale)
 		g := stats.GeomeanSpeedup(take(), baseIPC)
-		tb.AddRow("scale", fmt.Sprintf("%.2fx", scale),
-			fmt.Sprintf("%d", cfg.UEntries), fmt.Sprintf("%d", cfg.REntries),
-			f2(float64(cfg.StorageBits())/8/1024), pct(g))
+		tb.AddCells(cStr("scale"), cStr(fmt.Sprintf("%.2fx", scale)),
+			cInt(cfg.UEntries), cInt(cfg.REntries),
+			cF2(float64(cfg.StorageBits())/8/1024), cPct(g))
 	}
 	rep.Notes = append(rep.Notes, fmt.Sprintf(
 		"best split keeps both buffers populated (paper picks 768U/2024R); measured best U fraction %.0f%%",
 		bestSplit*100))
-	return rep, nil
+	return o.stamp(rep, r, benches), nil
 }
 
 // Fig18 reproduces Figure 18: per-benchmark reduction in decoder idle
@@ -471,7 +481,8 @@ func Fig18(o Options) (*Report, error) {
 		return nil, err
 	}
 	n := len(benches)
-	tb := stats.NewTable("benchmark", "baseline_idle_frac", "skia_idle_frac", "idle_reduction")
+	tb := stats.NewTable("benchmark", "baseline_idle_frac", "skia_idle_frac", "idle_reduction").
+		SetUnits(stats.UnitNone, stats.UnitFrac, stats.UnitFrac, stats.UnitSpeedup)
 	rep := &Report{ID: "fig18", Title: "Decoder idle-cycle reduction with Skia (8K BTB)", Table: tb}
 	var reds []float64
 	for i, b := range benches {
@@ -486,10 +497,10 @@ func Fig18(o Options) (*Report, error) {
 			red = (bi - si) / bi
 		}
 		reds = append(reds, red)
-		tb.AddRow(b, f3(base.DecodeIdleFrac), f3(skia.DecodeIdleFrac), pct(red))
+		tb.AddCells(cStr(b), cF3(base.DecodeIdleFrac), cF3(skia.DecodeIdleFrac), cPct(red))
 	}
 	rep.Notes = append(rep.Notes, fmt.Sprintf(
 		"mean idle reduction %s; paper: voter and sibench show the largest reductions",
 		pct(stats.Mean(reds))))
-	return rep, nil
+	return o.stamp(rep, r, benches), nil
 }

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// SchemaVersion identifies the JSON envelope format emitted by
+// Report.MarshalJSON and consumed by cmd/skiacmp. Bump it on any
+// incompatible change and teach DecodeReport the migration.
+const SchemaVersion = 1
+
+// BenchmarkRef names one workload in a run together with the
+// generation seed that makes it bit-for-bit reproducible.
+type BenchmarkRef struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+}
+
+// RunMeta is the run-metadata envelope wrapped around every JSON
+// report: enough provenance to reproduce the run (benchmarks and
+// seeds, instruction windows, configuration labels, repo version) and
+// enough instrumentation to track simulator throughput over time.
+type RunMeta struct {
+	// Benchmarks lists the workloads simulated, with their seeds.
+	Benchmarks []BenchmarkRef `json:"benchmarks,omitempty"`
+	// WarmupInstructions and MeasureInstructions are the effective
+	// per-run windows (defaults resolved).
+	WarmupInstructions  uint64 `json:"warmup_instructions,omitempty"`
+	MeasureInstructions uint64 `json:"measure_instructions,omitempty"`
+	// ConfigLabels lists the distinct RunSpec labels simulated
+	// (e.g. ["baseline","both","head","tail"]), in the runner's
+	// sorted spec order.
+	ConfigLabels []string `json:"config_labels,omitempty"`
+	// GitDescribe is `git describe --always --dirty --tags` of the
+	// tree that produced the report (filled by cmd/skiaexp).
+	GitDescribe string `json:"git_describe,omitempty"`
+	// GeneratedAt is the RFC 3339 wall-clock timestamp of the run
+	// (filled by cmd/skiaexp).
+	GeneratedAt string `json:"generated_at,omitempty"`
+	// Sim carries the runner's timing and throughput counters.
+	Sim *sim.RunnerStats `json:"sim,omitempty"`
+}
+
+// stamp fills the report's run-metadata envelope from the options, the
+// benchmark list actually simulated, and the runner that executed the
+// specs (nil for static tables). It returns the report for use in
+// return statements.
+func (o Options) stamp(rep *Report, r *sim.Runner, benches []string) *Report {
+	warm, meas := o.Warmup, o.Measure
+	if warm == 0 {
+		warm = sim.DefaultWarmup
+	}
+	if meas == 0 {
+		meas = sim.DefaultMeasure
+	}
+	m := RunMeta{WarmupInstructions: warm, MeasureInstructions: meas}
+	for _, b := range benches {
+		ref := BenchmarkRef{Name: b}
+		if p, err := workload.ByName(b); err == nil {
+			ref.Seed = p.Seed
+		}
+		m.Benchmarks = append(m.Benchmarks, ref)
+	}
+	if r != nil {
+		st := r.Stats()
+		m.Sim = &st
+		seen := make(map[string]bool)
+		for _, sp := range st.Specs {
+			if !seen[sp.Label] {
+				seen[sp.Label] = true
+				m.ConfigLabels = append(m.ConfigLabels, sp.Label)
+			}
+		}
+	}
+	rep.Meta = m
+	return rep
+}
+
+// reportJSON is the on-disk envelope. Field order here is the field
+// order in the emitted JSON; EXPERIMENTS.md ("Results schema")
+// documents it field by field.
+type reportJSON struct {
+	SchemaVersion int          `json:"schema_version"`
+	ID            string       `json:"id"`
+	Title         string       `json:"title"`
+	Meta          RunMeta      `json:"meta"`
+	Table         *stats.Table `json:"table"`
+	Notes         []string     `json:"notes,omitempty"`
+}
+
+// MarshalJSON wraps the report in the versioned run-metadata envelope.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(reportJSON{
+		SchemaVersion: SchemaVersion,
+		ID:            r.ID,
+		Title:         r.Title,
+		Meta:          r.Meta,
+		Table:         r.Table,
+		Notes:         r.Notes,
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON. It rejects unknown
+// schema versions rather than silently misreading future formats.
+func (r *Report) UnmarshalJSON(b []byte) error {
+	var j reportJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	if j.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("experiments: report schema version %d, this build reads %d",
+			j.SchemaVersion, SchemaVersion)
+	}
+	if j.Table == nil {
+		return fmt.Errorf("experiments: report %q has no table", j.ID)
+	}
+	*r = Report{ID: j.ID, Title: j.Title, Table: j.Table, Notes: j.Notes, Meta: j.Meta}
+	return nil
+}
+
+// DecodeReport parses one JSON report produced by Report.MarshalJSON
+// (for example a skiaexp -json -out file).
+func DecodeReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestReportJSONRoundTrip marshals a freshly simulated report, decodes
+// it, and requires deep equality: nothing the envelope carries may be
+// lost or coerced on the way through disk.
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep, err := Fig15(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Meta.GitDescribe = "v0-test"
+	rep.Meta.GeneratedAt = "2026-08-06T00:00:00Z"
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != rep.ID || back.Title != rep.Title {
+		t.Errorf("identity changed: %q/%q", back.ID, back.Title)
+	}
+	if !reflect.DeepEqual(back.Notes, rep.Notes) {
+		t.Errorf("notes changed: %v != %v", back.Notes, rep.Notes)
+	}
+	if !reflect.DeepEqual(back.Meta, rep.Meta) {
+		t.Errorf("meta changed:\n%+v\n!=\n%+v", back.Meta, rep.Meta)
+	}
+	if !reflect.DeepEqual(back.Table.Columns(), rep.Table.Columns()) {
+		t.Errorf("columns changed: %+v != %+v", back.Table.Columns(), rep.Table.Columns())
+	}
+	if back.Table.NumRows() != rep.Table.NumRows() {
+		t.Fatalf("row count changed: %d != %d", back.Table.NumRows(), rep.Table.NumRows())
+	}
+	for i := 0; i < rep.Table.NumRows(); i++ {
+		if !reflect.DeepEqual(back.Table.Row(i), rep.Table.Row(i)) {
+			t.Errorf("row %d changed: %+v != %+v", i, back.Table.Row(i), rep.Table.Row(i))
+		}
+	}
+	if back.String() != rep.String() {
+		t.Error("plain-text rendering changed across round trip")
+	}
+}
+
+// TestReportMetaStamped checks the run-metadata envelope a harness
+// fills: benchmarks with seeds, effective windows, config labels, and
+// the runner's throughput counters.
+func TestReportMetaStamped(t *testing.T) {
+	o := tinyOpts()
+	rep, err := Fig14(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Meta
+	if len(m.Benchmarks) != 2 || m.Benchmarks[0].Name != "voter" || m.Benchmarks[0].Seed == 0 {
+		t.Errorf("benchmarks = %+v", m.Benchmarks)
+	}
+	if m.WarmupInstructions != o.Warmup || m.MeasureInstructions != o.Measure {
+		t.Errorf("windows = %d/%d", m.WarmupInstructions, m.MeasureInstructions)
+	}
+	if !reflect.DeepEqual(m.ConfigLabels, []string{"baseline", "both", "head", "tail"}) {
+		t.Errorf("config labels = %v", m.ConfigLabels)
+	}
+	if m.Sim == nil {
+		t.Fatal("no sim stats")
+	}
+	// 2 benchmarks x 4 variants.
+	if m.Sim.Runs != 8 || m.Sim.Instructions == 0 || m.Sim.InstructionsPerSec <= 0 {
+		t.Errorf("sim stats = %+v", m.Sim)
+	}
+	// Defaults resolve when the options leave windows at zero.
+	var o2 Options
+	rep2 := &Report{ID: "x", Table: stats.NewTable("a")}
+	o2.stamp(rep2, nil, nil)
+	if rep2.Meta.WarmupInstructions == 0 || rep2.Meta.MeasureInstructions == 0 {
+		t.Errorf("default windows not resolved: %+v", rep2.Meta)
+	}
+}
+
+// TestReportSchemaVersionChecked ensures decodes of other versions
+// fail loudly instead of silently misreading.
+func TestReportSchemaVersionChecked(t *testing.T) {
+	if _, err := DecodeReport([]byte(`{"schema_version":99,"id":"x","title":"t","meta":{},"table":{"columns":[],"rows":[]}}`)); err == nil {
+		t.Error("future schema version accepted")
+	}
+	if _, err := DecodeReport([]byte(`{"schema_version":1,"id":"x","title":"t","meta":{}}`)); err == nil {
+		t.Error("report without table accepted")
+	}
+}
+
+// TestGoldenReportStable decodes the committed golden report and
+// re-marshals it: the bytes must match exactly, pinning the schema.
+// Regenerate with:
+//
+//	go run ./cmd/skiaexp -exp fig14 -json -benchmarks voter,kafka \
+//	    -warmup 100000 -measure 300000 -out /tmp/r
+//	cp /tmp/r/fig14.json internal/experiments/testdata/fig14.golden.json
+//
+// (and update the example in EXPERIMENTS.md to match).
+func TestGoldenReportStable(t *testing.T) {
+	golden, err := os.ReadFile("testdata/fig14.golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DecodeReport(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "fig14" || rep.Table.NumRows() != 3 {
+		t.Fatalf("unexpected golden content: id=%q rows=%d", rep.ID, rep.Table.NumRows())
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, '\n')
+	if string(out) != string(golden) {
+		t.Errorf("golden report does not re-marshal byte-identically;\nschema drifted — regenerate testdata/fig14.golden.json and update EXPERIMENTS.md\n--- got ---\n%s", out)
+	}
+}
+
+// TestDocumentedExampleMatchesMarshaller holds EXPERIMENTS.md to its
+// word: the fig14.json example in the "Results schema" section must be
+// byte-identical to the golden file, which TestGoldenReportStable pins
+// to the marshaller's actual output.
+func TestDocumentedExampleMatchesMarshaller(t *testing.T) {
+	doc, err := os.ReadFile("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker := "### Example: fig14.json"
+	i := strings.Index(string(doc), marker)
+	if i < 0 {
+		t.Fatalf("EXPERIMENTS.md lacks the %q section", marker)
+	}
+	rest := string(doc)[i:]
+	start := strings.Index(rest, "```json\n")
+	if start < 0 {
+		t.Fatal("no fenced json block after the example marker")
+	}
+	rest = rest[start+len("```json\n"):]
+	end := strings.Index(rest, "```")
+	if end < 0 {
+		t.Fatal("unterminated json block")
+	}
+	example := rest[:end]
+	golden, err := os.ReadFile("testdata/fig14.golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if example != string(golden) {
+		t.Error("EXPERIMENTS.md example differs from testdata/fig14.golden.json; keep them in sync")
+	}
+	if _, err := DecodeReport([]byte(example)); err != nil {
+		t.Errorf("documented example does not decode: %v", err)
+	}
+}

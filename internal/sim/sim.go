@@ -5,9 +5,12 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/btb"
 	"repro/internal/cpu"
@@ -43,6 +46,34 @@ type Result struct {
 	Label string
 }
 
+// SpecTiming records the wall time and instruction volume of one
+// completed simulation, for the throughput envelope experiment reports
+// carry.
+type SpecTiming struct {
+	Benchmark string `json:"benchmark"`
+	Label     string `json:"label,omitempty"`
+	// Instructions is the simulated volume, warmup plus measurement.
+	Instructions uint64  `json:"instructions"`
+	Seconds      float64 `json:"seconds"`
+}
+
+// RunnerStats aggregates per-spec timing and throughput over every
+// successful Run a Runner has executed.
+type RunnerStats struct {
+	// Runs counts completed simulations.
+	Runs int `json:"runs"`
+	// Instructions is the total simulated volume (warmup + measure).
+	Instructions uint64 `json:"instructions"`
+	// WallSeconds spans the first run's start to the last run's end,
+	// so it reflects concurrency; CPUSeconds sums per-run times.
+	WallSeconds float64 `json:"wall_seconds"`
+	CPUSeconds  float64 `json:"cpu_seconds"`
+	// InstructionsPerSec is Instructions / WallSeconds.
+	InstructionsPerSec float64 `json:"instructions_per_sec"`
+	// Specs holds per-run timings, sorted by benchmark then label.
+	Specs []SpecTiming `json:"specs,omitempty"`
+}
+
 // Runner generates and caches workloads so that every configuration of
 // a benchmark simulates the same program bytes. Workloads are immutable
 // after generation, so the cache is safe to share across goroutines.
@@ -52,6 +83,12 @@ type Runner struct {
 	// Workers bounds concurrent simulations in RunAll (default:
 	// GOMAXPROCS).
 	Workers int
+
+	timings    []SpecTiming
+	totalInsts uint64
+	cpuSeconds float64
+	firstStart time.Time
+	lastEnd    time.Time
 }
 
 // NewRunner returns an empty runner.
@@ -79,9 +116,60 @@ func (r *Runner) Workload(name string) (*workload.Workload, error) {
 	return w, nil
 }
 
+// record books one successful simulation into the runner's timing
+// counters.
+func (r *Runner) record(spec RunSpec, insts uint64, start, end time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.timings = append(r.timings, SpecTiming{
+		Benchmark:    spec.Benchmark,
+		Label:        spec.Label,
+		Instructions: insts,
+		Seconds:      end.Sub(start).Seconds(),
+	})
+	r.totalInsts += insts
+	r.cpuSeconds += end.Sub(start).Seconds()
+	if r.firstStart.IsZero() || start.Before(r.firstStart) {
+		r.firstStart = start
+	}
+	if end.After(r.lastEnd) {
+		r.lastEnd = end
+	}
+}
+
+// Stats returns a snapshot of the runner's timing and throughput
+// counters across all successful runs so far. Wall time spans the
+// first run's start to the last run's end (and so accounts for
+// concurrency); per-spec timings include first-use workload
+// generation and are sorted by benchmark then label.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RunnerStats{
+		Runs:         len(r.timings),
+		Instructions: r.totalInsts,
+		CPUSeconds:   r.cpuSeconds,
+		Specs:        append([]SpecTiming(nil), r.timings...),
+	}
+	sort.SliceStable(st.Specs, func(i, j int) bool {
+		if st.Specs[i].Benchmark != st.Specs[j].Benchmark {
+			return st.Specs[i].Benchmark < st.Specs[j].Benchmark
+		}
+		return st.Specs[i].Label < st.Specs[j].Label
+	})
+	if !r.firstStart.IsZero() {
+		st.WallSeconds = r.lastEnd.Sub(r.firstStart).Seconds()
+	}
+	if st.WallSeconds > 0 {
+		st.InstructionsPerSec = float64(st.Instructions) / st.WallSeconds
+	}
+	return st
+}
+
 // Run executes one simulation: build core, warm up, reset statistics,
 // measure.
 func (r *Runner) Run(spec RunSpec) (Result, error) {
+	start := time.Now()
 	w, err := r.Workload(spec.Benchmark)
 	if err != nil {
 		return Result{}, err
@@ -108,11 +196,15 @@ func (r *Runner) Run(spec RunSpec) (Result, error) {
 		return Result{}, fmt.Errorf("sim: %s: %d forced resyncs indicate a front-end modeling bug",
 			spec.Benchmark, res.FE.ForcedResyncs)
 	}
+	r.record(spec, warm+meas, start, time.Now())
 	return Result{Result: res, Label: spec.Label}, nil
 }
 
 // RunAll executes the specs concurrently (bounded by Workers) and
-// returns results in spec order. The first error aborts the batch.
+// returns results in spec order. Every spec runs to completion even
+// when siblings fail; the returned error joins one entry per failed
+// spec (benchmark and label named), and the result slice still carries
+// the successful entries (failed slots are zero-valued).
 func (r *Runner) RunAll(specs []RunSpec) ([]Result, error) {
 	workers := r.Workers
 	if workers <= 0 {
@@ -135,10 +227,14 @@ func (r *Runner) RunAll(specs []RunSpec) ([]Result, error) {
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	var failed []error
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			failed = append(failed, fmt.Errorf("spec %s/%s: %w", specs[i].Benchmark, specs[i].Label, err))
 		}
+	}
+	if len(failed) > 0 {
+		return results, errors.Join(failed...)
 	}
 	return results, nil
 }

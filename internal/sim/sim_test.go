@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/btb"
@@ -159,5 +160,71 @@ func TestAugmentedBTB(t *testing.T) {
 	aug2 := AugmentedBTB(base, 100)
 	if aug2.Entries <= base.Entries {
 		t.Errorf("minimum grant missing: %+v", aug2)
+	}
+}
+
+func TestRunAllAggregatesAllErrors(t *testing.T) {
+	r := NewRunner()
+	specs := []RunSpec{
+		quickSpec("ok", false),
+		{Benchmark: "ghost1", Config: cpu.DefaultConfig(), Label: "skia"},
+		{Benchmark: "ghost2", Config: cpu.DefaultConfig(), Label: "base"},
+	}
+	results, err := r.RunAll(specs)
+	if err == nil {
+		t.Fatal("errors not propagated")
+	}
+	// Both failed specs must be named with benchmark and label, so one
+	// bad spec no longer hides the rest of the suite.
+	for _, want := range []string{"ghost1/skia", "ghost2/base"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregated error lacks %q:\n%v", want, err)
+		}
+	}
+	// The successful sibling's result must survive.
+	if len(results) != 3 || results[0].Label != "ok" || results[0].Instructions == 0 {
+		t.Errorf("successful sibling result discarded: %+v", results[:1])
+	}
+}
+
+func TestRunnerStats(t *testing.T) {
+	r := NewRunner()
+	if st := r.Stats(); st.Runs != 0 || st.Instructions != 0 || st.WallSeconds != 0 {
+		t.Errorf("fresh runner has stats: %+v", st)
+	}
+	if _, err := r.RunAll([]RunSpec{quickSpec("a", false), quickSpec("b", true)}); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Runs != 2 {
+		t.Errorf("Runs = %d", st.Runs)
+	}
+	// Each quickSpec simulates 50k warmup + 150k measured instructions.
+	if st.Instructions != 2*200_000 {
+		t.Errorf("Instructions = %d", st.Instructions)
+	}
+	if st.WallSeconds <= 0 || st.CPUSeconds <= 0 || st.InstructionsPerSec <= 0 {
+		t.Errorf("timing not recorded: %+v", st)
+	}
+	if len(st.Specs) != 2 {
+		t.Fatalf("Specs = %+v", st.Specs)
+	}
+	// Sorted by benchmark then label; both specs run "noop".
+	if st.Specs[0].Label != "a" || st.Specs[1].Label != "b" {
+		t.Errorf("spec timings not sorted: %+v", st.Specs)
+	}
+	for _, sp := range st.Specs {
+		if sp.Benchmark != "noop" || sp.Instructions != 200_000 || sp.Seconds <= 0 {
+			t.Errorf("bad spec timing: %+v", sp)
+		}
+	}
+	// Failed runs must not book timings.
+	bad := quickSpec("x", false)
+	bad.Benchmark = "ghost"
+	if _, err := r.Run(bad); err == nil {
+		t.Fatal("ghost accepted")
+	}
+	if got := r.Stats().Runs; got != 2 {
+		t.Errorf("failed run booked a timing: Runs = %d", got)
 	}
 }

@@ -1,0 +1,34 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Geomean is the suite aggregate used throughout the paper's
+// evaluation: the geometric mean keeps one outlier benchmark from
+// dominating the average.
+func ExampleGeomean() {
+	ipcRatios := []float64{2, 8}
+	fmt.Printf("%.2f\n", stats.Geomean(ipcRatios))
+	// Output: 4.00
+}
+
+// GeomeanSpeedup aggregates per-benchmark (ipc, baseline) pairs the
+// way the paper reports geomean speedups: geometric mean of the
+// ratios, minus one.
+func ExampleGeomeanSpeedup() {
+	skiaIPC := []float64{2.42, 1.21}
+	baseIPC := []float64{2.20, 1.10}
+	fmt.Println(stats.Percent(stats.GeomeanSpeedup(skiaIPC, baseIPC)))
+	// Output: +10.00%
+}
+
+// MPKI normalizes an event count (here BTB misses) to events per
+// thousand retired instructions, the unit most figures use.
+func ExampleMPKI() {
+	var misses, instructions uint64 = 5_640, 1_500_000
+	fmt.Printf("%.2f\n", stats.MPKI(misses, instructions))
+	// Output: 3.76
+}

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -155,54 +156,214 @@ func (s *Set) Merge(other *Set) {
 	}
 }
 
-// Table renders aligned plain-text tables for the experiment harnesses.
+// CellKind discriminates the two Table cell types carried through the
+// JSON serialization: free-form strings and numeric values.
+type CellKind string
+
+const (
+	// CellStr is a label cell (benchmark name, config name, …).
+	CellStr CellKind = "str"
+	// CellNum is a numeric cell: it carries both the machine-readable
+	// value and the rendered text used by the plain-text output.
+	CellNum CellKind = "num"
+)
+
+// Cell is one typed table cell. Text is always the rendered form; for
+// CellNum cells Value holds the underlying number so tools such as
+// cmd/skiacmp can diff results without re-parsing formatted strings.
+type Cell struct {
+	Kind  CellKind
+	Text  string
+	Value float64
+}
+
+// Str builds a string cell.
+func Str(s string) Cell { return Cell{Kind: CellStr, Text: s} }
+
+// Num builds a numeric cell with an explicit rendering.
+func Num(v float64, text string) Cell { return Cell{Kind: CellNum, Text: text, Value: v} }
+
+type cellJSON struct {
+	Kind  CellKind `json:"kind"`
+	Text  string   `json:"text"`
+	Value *float64 `json:"value,omitempty"`
+}
+
+// MarshalJSON emits {"kind","text"} for string cells and adds "value"
+// for numeric cells.
+func (c Cell) MarshalJSON() ([]byte, error) {
+	j := cellJSON{Kind: c.Kind, Text: c.Text}
+	if c.Kind == CellNum {
+		v := c.Value
+		j.Value = &v
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (c *Cell) UnmarshalJSON(b []byte) error {
+	var j cellJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	switch j.Kind {
+	case CellStr, CellNum:
+	default:
+		return fmt.Errorf("stats: unknown cell kind %q", j.Kind)
+	}
+	*c = Cell{Kind: j.Kind, Text: j.Text}
+	if j.Value != nil {
+		c.Value = *j.Value
+	}
+	return nil
+}
+
+// Units a Column can declare. The unit tells consumers how to interpret
+// a numeric column; UnitSpeedup additionally marks the sign as a
+// "who wins" result, which cmd/skiacmp watches for flips.
+const (
+	UnitNone    = ""        // labels and untyped columns
+	UnitCount   = "count"   // raw event counts
+	UnitMPKI    = "mpki"    // events per kilo-instruction
+	UnitIPC     = "ipc"     // instructions per cycle
+	UnitFrac    = "frac"    // fraction of a whole (rendered raw or as a percent)
+	UnitSpeedup = "speedup" // signed fraction; sign encodes who wins
+	UnitKB      = "kb"      // kilobytes of storage
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string `json:"name"`
+	Unit string `json:"unit,omitempty"`
+}
+
+// Table renders aligned plain-text tables for the experiment harnesses
+// and serializes to JSON with typed cells and per-column units.
 type Table struct {
-	header []string
-	rows   [][]string
+	cols []Column
+	rows [][]Cell
 }
 
-// NewTable creates a table with the given column headers.
+// NewTable creates a table with the given column headers (no units).
 func NewTable(header ...string) *Table {
-	return &Table{header: header}
+	cols := make([]Column, len(header))
+	for i, h := range header {
+		cols[i] = Column{Name: h}
+	}
+	return &Table{cols: cols}
 }
 
-// AddRow appends a row; cells beyond the header width are dropped and
-// missing cells render empty.
-func (t *Table) AddRow(cells ...string) {
-	row := make([]string, len(t.header))
+// SetUnits assigns units to the columns in order; extra units are
+// dropped and unnamed trailing columns keep UnitNone. It returns the
+// table for chaining with NewTable.
+func (t *Table) SetUnits(units ...string) *Table {
+	for i, u := range units {
+		if i >= len(t.cols) {
+			break
+		}
+		t.cols[i].Unit = u
+	}
+	return t
+}
+
+// Columns returns a copy of the column descriptors.
+func (t *Table) Columns() []Column {
+	return append([]Column(nil), t.cols...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns a copy of data row i.
+func (t *Table) Row(i int) []Cell {
+	return append([]Cell(nil), t.rows[i]...)
+}
+
+// AddCells appends a typed row; cells beyond the header width are
+// dropped and missing cells render empty.
+func (t *Table) AddCells(cells ...Cell) {
+	row := make([]Cell, len(t.cols))
 	for i := range row {
 		if i < len(cells) {
 			row[i] = cells[i]
+		} else {
+			row[i] = Str("")
 		}
 	}
 	t.rows = append(t.rows, row)
 }
 
-// AddRowf appends a row formatting each cell with fmt.Sprint for
-// convenience with mixed types.
+// AddRow appends a row of string cells; cells beyond the header width
+// are dropped and missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	typed := make([]Cell, len(cells))
+	for i, c := range cells {
+		typed[i] = Str(c)
+	}
+	t.AddCells(typed...)
+}
+
+// AddRowf appends a row formatting each cell for convenience with
+// mixed types. Numeric arguments become CellNum cells (floats rendered
+// with three decimals), everything else a string cell via fmt.Sprint.
 func (t *Table) AddRowf(cells ...any) {
-	ss := make([]string, len(cells))
+	typed := make([]Cell, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			ss[i] = fmt.Sprintf("%.3f", v)
+			typed[i] = Num(v, fmt.Sprintf("%.3f", v))
+		case int:
+			typed[i] = Num(float64(v), fmt.Sprint(v))
+		case uint64:
+			typed[i] = Num(float64(v), fmt.Sprint(v))
 		default:
-			ss[i] = fmt.Sprint(c)
+			typed[i] = Str(fmt.Sprint(c))
 		}
 	}
-	t.AddRow(ss...)
+	t.AddCells(typed...)
+}
+
+type tableJSON struct {
+	Columns []Column `json:"columns"`
+	Rows    [][]Cell `json:"rows"`
+}
+
+// MarshalJSON serializes the table as {"columns":[...],"rows":[[...]]}.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]Cell{}
+	}
+	return json.Marshal(tableJSON{Columns: t.cols, Rows: rows})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON; it validates that every
+// row matches the column count.
+func (t *Table) UnmarshalJSON(b []byte) error {
+	var j tableJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	for i, r := range j.Rows {
+		if len(r) != len(j.Columns) {
+			return fmt.Errorf("stats: table row %d has %d cells, want %d", i, len(r), len(j.Columns))
+		}
+	}
+	t.cols = j.Columns
+	t.rows = j.Rows
+	return nil
 }
 
 // String renders the table with column alignment.
 func (t *Table) String() string {
-	widths := make([]int, len(t.header))
-	for i, h := range t.header {
-		widths[i] = len(h)
+	widths := make([]int, len(t.cols))
+	for i, c := range t.cols {
+		widths[i] = len(c.Name)
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			if len(c.Text) > widths[i] {
+				widths[i] = len(c.Text)
 			}
 		}
 	}
@@ -217,14 +378,22 @@ func (t *Table) String() string {
 		}
 		b.WriteByte('\n')
 	}
-	writeRow(t.header)
-	sep := make([]string, len(t.header))
+	header := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		header[i] = c.Name
+	}
+	writeRow(header)
+	sep := make([]string, len(t.cols))
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
 	writeRow(sep)
 	for _, r := range t.rows {
-		writeRow(r)
+		texts := make([]string, len(r))
+		for i, c := range r {
+			texts[i] = c.Text
+		}
+		writeRow(texts)
 	}
 	return b.String()
 }

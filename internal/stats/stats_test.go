@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -215,5 +217,93 @@ func TestHistogramQuantileMonotonic(t *testing.T) {
 			t.Fatalf("quantile not monotonic at q=%v: %v < %v", q, v, prev)
 		}
 		prev = v
+	}
+}
+
+func TestTableTypedCellsAndUnits(t *testing.T) {
+	tb := NewTable("bench", "ipc", "gain").SetUnits(UnitNone, UnitIPC, UnitSpeedup)
+	tb.AddCells(Str("voter"), Num(2.262, "2.262"), Num(0.0753, "7.53%"))
+	cols := tb.Columns()
+	if cols[0].Unit != UnitNone || cols[1].Unit != UnitIPC || cols[2].Unit != UnitSpeedup {
+		t.Errorf("units = %+v", cols)
+	}
+	if tb.NumRows() != 1 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	row := tb.Row(0)
+	if row[0].Kind != CellStr || row[1].Kind != CellNum || row[1].Value != 2.262 {
+		t.Errorf("row = %+v", row)
+	}
+	// Plain-text rendering uses the Text field.
+	if out := tb.String(); !strings.Contains(out, "7.53%") {
+		t.Errorf("rendering:\n%s", out)
+	}
+	// AddRowf produces numeric cells for numeric arguments.
+	tb.AddRowf("kafka", 1.234567, uint64(42))
+	row = tb.Row(1)
+	if row[1].Kind != CellNum || row[1].Text != "1.235" || row[2].Value != 42 {
+		t.Errorf("AddRowf row = %+v", row)
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := NewTable("bench", "mpki", "gain").SetUnits(UnitNone, UnitMPKI, UnitSpeedup)
+	tb.AddCells(Str("voter"), Num(3.68, "3.68"), Num(-0.021, "-2.10%"))
+	tb.AddCells(Str("kafka"), Num(0, "0.00"), Num(0.0564, "+5.64%"))
+	data, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-valued numeric cells must keep their "value" key so kinds
+	// survive the round trip.
+	if !strings.Contains(string(data), `"value": 0`) && !strings.Contains(string(data), `"value":0`) {
+		t.Errorf("zero num cell lost its value:\n%s", data)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tb.Columns(), back.Columns()) {
+		t.Errorf("columns: %+v != %+v", tb.Columns(), back.Columns())
+	}
+	if back.NumRows() != tb.NumRows() {
+		t.Fatalf("rows: %d != %d", back.NumRows(), tb.NumRows())
+	}
+	for i := 0; i < tb.NumRows(); i++ {
+		if !reflect.DeepEqual(tb.Row(i), back.Row(i)) {
+			t.Errorf("row %d: %+v != %+v", i, tb.Row(i), back.Row(i))
+		}
+	}
+	if tb.String() != back.String() {
+		t.Error("rendering changed across round trip")
+	}
+}
+
+func TestTableJSONRejectsMalformed(t *testing.T) {
+	var tb Table
+	// Row width must match the column count.
+	bad := `{"columns":[{"name":"a"},{"name":"b"}],"rows":[[{"kind":"str","text":"x"}]]}`
+	if err := json.Unmarshal([]byte(bad), &tb); err == nil {
+		t.Error("ragged row accepted")
+	}
+	// Unknown cell kinds must be rejected, not silently coerced.
+	bad = `{"columns":[{"name":"a"}],"rows":[[{"kind":"complex","text":"x"}]]}`
+	if err := json.Unmarshal([]byte(bad), &tb); err == nil {
+		t.Error("unknown cell kind accepted")
+	}
+}
+
+func TestEmptyTableJSON(t *testing.T) {
+	tb := NewTable("a", "b")
+	data, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 0 || len(back.Columns()) != 2 {
+		t.Errorf("empty table mangled: %+v", back)
 	}
 }
