@@ -13,7 +13,10 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cpu"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/workload"
 )
 
 // benchOpts returns reduced-size options sized for iteration under
@@ -188,4 +191,64 @@ func BenchmarkAblationWrongPath(b *testing.B) {
 // storing shadow conditionals in the U-SBB.
 func BenchmarkExtensionShadowConds(b *testing.B) {
 	runOnce(b, experiments.ExtensionShadowConds)
+}
+
+// observabilityCore builds a Skia-configured core on a small workload
+// for the disabled- vs enabled-observability overhead pair below.
+func observabilityCore(b *testing.B) *cpu.Core {
+	b.Helper()
+	prof, err := workload.ByName("voter")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := workload.Generate(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := cpu.New(cpu.SkiaConfig(), w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Run(100_000) // warm predictors and caches out of the timed region
+	c.ResetStats()
+	return c
+}
+
+// BenchmarkFrontEndCycle_NoObservability is the zero-overhead guard's
+// baseline: the simulated core with no collector and no tracer. Compare
+// ns/op against _WithTracer; the disabled path must stay within noise
+// (<2%) of what the pre-observability core cost.
+func BenchmarkFrontEndCycle_NoObservability(b *testing.B) {
+	c := observabilityCore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Run(1000) == 0 {
+			b.StopTimer()
+			c = observabilityCore(b)
+			b.StartTimer()
+		}
+	}
+	b.ReportMetric(float64(c.Retired())/float64(b.Elapsed().Seconds())/1e6, "Minsts/s")
+}
+
+// BenchmarkFrontEndCycle_WithTracer measures the same loop with the
+// full observability stack attached: an interval collector sampling
+// every 10k instructions and a ring tracer receiving every event.
+func BenchmarkFrontEndCycle_WithTracer(b *testing.B) {
+	c := observabilityCore(b)
+	attach := func(c *cpu.Core) {
+		c.AttachCollector(metrics.NewCollector(10_000))
+		c.SetTracer(metrics.NewRingTracer(1 << 16))
+	}
+	attach(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Run(1000) == 0 {
+			b.StopTimer()
+			c = observabilityCore(b)
+			attach(c)
+			b.StartTimer()
+		}
+	}
+	b.ReportMetric(float64(c.Retired())/float64(b.Elapsed().Seconds())/1e6, "Minsts/s")
 }

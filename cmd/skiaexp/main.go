@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 type expFn func(experiments.Options) (*experiments.Report, error)
@@ -116,11 +117,26 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		asJSON  = flag.Bool("json", false, "emit JSON report envelopes instead of plain text")
 		outDir  = flag.String("out", "", "write <id>.json per experiment plus manifest.json into this directory (implies -json)")
+
+		intervals = flag.Uint64("intervals", 0,
+			"collect interval metrics every N retired instructions per run; summaries land in the report envelope's `intervals` section (0 = off)")
 	)
+	var prof metrics.Profiler
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *outDir != "" {
 		*asJSON = true
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skiaexp: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "skiaexp: %v\n", err)
+		}
+	}()
 
 	cat := catalog()
 	if *list || *exp == "" {
@@ -137,7 +153,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Workers: *workers}
+	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Workers: *workers, Interval: *intervals}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}

@@ -9,6 +9,12 @@
 //	skiasim -bench voter -skia -head=false   # tail-only shadow decode
 //	skiasim -bench dotty -btb 16384 -measure 10000000
 //	skiasim -list
+//
+// Observability (see README, "Tracing & profiling"):
+//
+//	skiasim -bench voter -skia -intervals 100000 -intervals-out iv.ndjson
+//	skiasim -bench voter -skia -trace-out fe.trace.json   # open in Perfetto
+//	skiasim -bench voter -cpuprofile cpu.pprof -pprof localhost:6060
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"os"
 
 	"repro/internal/cpu"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -33,8 +40,25 @@ func main() {
 		inf     = flag.Bool("infbtb", false, "infinite BTB (upper bound)")
 		warmup  = flag.Uint64("warmup", sim.DefaultWarmup, "warmup instructions")
 		measure = flag.Uint64("measure", sim.DefaultMeasure, "measured instructions")
+
+		intervals = flag.Uint64("intervals", 0,
+			"collect interval metrics every N retired instructions (0 = off; implied by -intervals-out)")
+		intervalsOut = flag.String("intervals-out", "",
+			"write per-interval metrics as NDJSON to this file")
+		traceOut = flag.String("trace-out", "",
+			"record front-end events and write Chrome trace_event JSON (Perfetto-loadable) to this file")
+		traceBuf = flag.Int("trace-buf", metrics.DefaultRingCapacity,
+			"event-trace ring capacity; oldest events drop past this")
 	)
+	var prof metrics.Profiler
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skiasim:", err)
+		os.Exit(1)
+	}
 
 	if *list {
 		fmt.Println("benchmarks (paper Table 2):")
@@ -54,14 +78,44 @@ func main() {
 	cfg.Frontend.BTB = sim.BTBWithEntries(*btbSz)
 	cfg.Frontend.BTB.Infinite = *inf
 
+	if *intervalsOut != "" && *intervals == 0 {
+		*intervals = metrics.DefaultEvery
+	}
+	var tracer *metrics.RingTracer
+	if *traceOut != "" {
+		tracer = metrics.NewRingTracer(*traceBuf)
+	}
+
 	r := sim.NewRunner()
-	res, err := r.Run(sim.RunSpec{
+	spec := sim.RunSpec{
 		Benchmark: *bench, Config: cfg,
 		Warmup: *warmup, Measure: *measure, Label: "run",
-	})
+		Interval: *intervals,
+	}
+	if tracer != nil {
+		spec.Tracer = tracer
+	}
+	res, err := r.Run(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skiasim:", err)
 		os.Exit(1)
+	}
+
+	if *intervalsOut != "" {
+		if err := writeFileWith(*intervalsOut, func(f *os.File) error {
+			return metrics.WriteNDJSON(f, res.Intervals)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "skiasim:", err)
+			os.Exit(1)
+		}
+	}
+	if tracer != nil {
+		if err := writeFileWith(*traceOut, func(f *os.File) error {
+			return metrics.WriteChromeTrace(f, tracer.Events())
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "skiasim:", err)
+			os.Exit(1)
+		}
 	}
 
 	fe := res.FE
@@ -98,5 +152,35 @@ func main() {
 			res.SBD.HeadRegions, res.SBD.HeadDiscarded)
 		row("tail regions", "%d", res.SBD.TailRegions)
 	}
+	if *intervals > 0 {
+		sum := metrics.Summarize(*intervals, res.Intervals)
+		row("intervals (every N insts)", "%d x %d", sum.Count, sum.Every)
+		row("interval IPC min/mean/max", "%.4f / %.4f / %.4f",
+			sum.IPCMin, sum.IPCMean, sum.IPCMax)
+		row("interval IPC first -> last", "%.4f -> %.4f", sum.IPCFirst, sum.IPCLast)
+	}
+	if tracer != nil {
+		row("traced events (kept/total)", "%d/%d",
+			uint64(len(tracer.Events())), tracer.Total())
+	}
 	fmt.Print(tb)
+
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "skiasim:", err)
+		os.Exit(1)
+	}
+}
+
+// writeFileWith creates path, hands it to write, and closes it,
+// reporting the first error.
+func writeFileWith(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -176,3 +176,47 @@ func TestRowsPairByLabelNotPosition(t *testing.T) {
 		t.Errorf("reordered rows failed:\n%s", res)
 	}
 }
+
+// TestV2ReportDiffsAgainstV1Golden writes the same table as a
+// hand-built schema-v1 file (with an unknown field, as an older tool
+// could have left behind) and as a current-schema report, and requires
+// the diff to be clean: schema evolution must not break regression
+// runs against old goldens.
+func TestV2ReportDiffsAgainstV1Golden(t *testing.T) {
+	newDir := writeDir(t, mkReport("fig14", 2.4, 0.05))
+	data, err := os.ReadFile(filepath.Join(newDir, "fig14.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["schema_version"] = json.RawMessage("1")
+	delete(m, "intervals")
+	m["legacy_only_field"] = json.RawMessage(`"kept by an older tool"`)
+	old, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(oldDir, "fig14.json"), old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := LoadPath(oldDir)
+	if err != nil {
+		t.Fatalf("v1 golden with unknown field failed to load: %v", err)
+	}
+	b, err := LoadPath(newDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Diff(a, b, Options{})
+	if res.Failed() {
+		t.Errorf("v1 golden vs v2 report failed:\n%s", res)
+	}
+	if res.Compared == 0 {
+		t.Error("nothing compared")
+	}
+}

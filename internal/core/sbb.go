@@ -104,6 +104,12 @@ type SBB struct {
 	rSets [][]rWay
 	tick  uint64
 	stats SBBStats
+
+	// OnEvict, when non-nil, observes capacity evictions: isU selects
+	// the buffer and retired reports the victim's retired bit (a useful
+	// entry lost rather than a possibly-bogus one). Set by the
+	// front-end's tracer wiring; nil costs one comparison per eviction.
+	OnEvict func(isU, retired bool)
 }
 
 // NewSBB builds a buffer from cfg.
@@ -292,6 +298,9 @@ func (s *SBB) insertU(sb ShadowBranch) {
 	w := victimU(s.uSets[set], s.cfg.RetiredFirstEviction)
 	if s.uSets[set][w].valid {
 		s.stats.UEvictions++
+		if s.OnEvict != nil {
+			s.OnEvict(true, s.uSets[set][w].retired)
+		}
 	}
 	s.uSets[set][w] = uWay{tag: tag, valid: true, lru: s.tick, e: e}
 	s.stats.UInserts++
@@ -314,6 +323,9 @@ func (s *SBB) insertR(pc uint64) {
 	w := victimR(s.rSets[set], s.cfg.RetiredFirstEviction)
 	if s.rSets[set][w].valid {
 		s.stats.REvictions++
+		if s.OnEvict != nil {
+			s.OnEvict(false, s.rSets[set][w].retired)
+		}
 	}
 	s.rSets[set][w] = rWay{tag: tag, valid: true, lru: s.tick, offset: off}
 	s.stats.RInserts++

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/frontend"
 	"repro/internal/ittage"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/tage"
 	"repro/internal/workload"
@@ -89,6 +90,11 @@ type Core struct {
 	cycles  uint64
 	retired uint64
 	rob     int
+
+	// coll, when non-nil, receives interval samples as retirement
+	// crosses each boundary; the run loop nil-checks it once per cycle,
+	// so a detached collector costs one comparison.
+	coll *metrics.Collector
 }
 
 // New builds a core over a workload. The front-end's re-steer penalties
@@ -135,8 +141,49 @@ func (c *Core) Run(n uint64) uint64 {
 		// Decode into the ROB, bounded by free space.
 		space := c.cfg.ROBSize - c.rob
 		c.rob += c.fe.Step(space)
+		if c.coll != nil && c.retired >= c.coll.Next() {
+			c.coll.Record(c.Sample())
+		}
 	}
 	return c.retired - (target - n)
+}
+
+// AttachCollector points interval collection at col (nil detaches),
+// resetting its baseline to the core's current counters so intervals
+// measure from the attachment point — typically the warmup boundary.
+func (c *Core) AttachCollector(col *metrics.Collector) {
+	c.coll = col
+	if col != nil {
+		col.Reset(c.Sample())
+	}
+}
+
+// SetTracer attaches (or detaches, with nil) a front-end event tracer.
+func (c *Core) SetTracer(t metrics.Tracer) { c.fe.SetTracer(t) }
+
+// Sample snapshots the cumulative counters the interval collector
+// differences: cycles, instructions, and the front-end and cache
+// events the timeseries rows derive their rates from.
+func (c *Core) Sample() metrics.Sample {
+	fe := c.fe.Stats()
+	l1 := c.fe.L1I().Stats()
+	l2 := c.fe.L2().Stats()
+	return metrics.Sample{
+		Cycles:                  c.cycles,
+		Instructions:            c.retired,
+		BTBMisses:               fe.BTBMissTotal(),
+		SBBCovered:              fe.SBBCoveredTotal(),
+		DecodeResteers:          fe.DecodeResteers,
+		ExecResteers:            fe.ExecResteers,
+		CondMispredicts:         fe.CondMispredicts,
+		DecodeIdleCycles:        fe.DecodeIdleCycles,
+		DecodeIdleFetchCycles:   fe.DecodeIdleFetchCycles,
+		DecodeIdleResteerCycles: fe.DecodeIdleResteerCycles,
+		L1IHits:                 l1.DemandHits + l1.PrefetchHits,
+		L1IMisses:               l1.DemandMisses + l1.PrefetchFills,
+		L2Hits:                  l2.DemandHits + l2.PrefetchHits,
+		L2Misses:                l2.DemandMisses + l2.PrefetchFills,
+	}
 }
 
 // ResetStats starts a fresh measurement window (the warmup boundary):
@@ -145,6 +192,9 @@ func (c *Core) ResetStats() {
 	c.fe.ResetStats()
 	c.cycles = 0
 	c.retired = 0
+	if c.coll != nil {
+		c.coll.Reset(c.Sample())
+	}
 }
 
 // Result snapshots the current measurement window.

@@ -35,6 +35,10 @@ type Options struct {
 	Benchmarks []string
 	// Workers bounds simulation concurrency (0 = GOMAXPROCS).
 	Workers int
+	// Interval, when nonzero, collects interval metrics (one row per
+	// this many retired instructions) on every run; per-spec summaries
+	// are embedded in the report envelope's `intervals` section.
+	Interval uint64
 }
 
 func (o Options) benchmarks() []string {
@@ -47,6 +51,7 @@ func (o Options) benchmarks() []string {
 func (o Options) runner() *sim.Runner {
 	r := sim.NewRunner()
 	r.Workers = o.Workers
+	r.Interval = o.Interval
 	return r
 }
 
@@ -64,6 +69,11 @@ type Report struct {
 	// form; harnesses fill it via Options.stamp and cmd/skiaexp adds
 	// the git version and timestamp.
 	Meta RunMeta
+	// Intervals holds one interval-metrics summary per simulated spec
+	// when the run collected interval timeseries (Options.Interval);
+	// nil otherwise. Serialized as the envelope's optional `intervals`
+	// section (schema v2).
+	Intervals []sim.SpecIntervals
 }
 
 // String renders the report.

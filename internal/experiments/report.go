@@ -12,7 +12,17 @@ import (
 // SchemaVersion identifies the JSON envelope format emitted by
 // Report.MarshalJSON and consumed by cmd/skiacmp. Bump it on any
 // incompatible change and teach DecodeReport the migration.
-const SchemaVersion = 1
+//
+// Version history:
+//
+//	1 — initial envelope: id/title/meta/table/notes.
+//	2 — adds the optional `intervals` section (per-spec interval
+//	    metrics summaries). Purely additive: v1 reports decode as v2
+//	    reports with no intervals.
+const SchemaVersion = 2
+
+// minSchemaVersion is the oldest envelope DecodeReport still reads.
+const minSchemaVersion = 1
 
 // BenchmarkRef names one workload in a run together with the
 // generation seed that makes it bit-for-bit reproducible.
@@ -76,6 +86,7 @@ func (o Options) stamp(rep *Report, r *sim.Runner, benches []string) *Report {
 				m.ConfigLabels = append(m.ConfigLabels, sp.Label)
 			}
 		}
+		rep.Intervals = r.IntervalSummaries()
 	}
 	rep.Meta = m
 	return rep
@@ -85,12 +96,13 @@ func (o Options) stamp(rep *Report, r *sim.Runner, benches []string) *Report {
 // order in the emitted JSON; EXPERIMENTS.md ("Results schema")
 // documents it field by field.
 type reportJSON struct {
-	SchemaVersion int          `json:"schema_version"`
-	ID            string       `json:"id"`
-	Title         string       `json:"title"`
-	Meta          RunMeta      `json:"meta"`
-	Table         *stats.Table `json:"table"`
-	Notes         []string     `json:"notes,omitempty"`
+	SchemaVersion int                 `json:"schema_version"`
+	ID            string              `json:"id"`
+	Title         string              `json:"title"`
+	Meta          RunMeta             `json:"meta"`
+	Table         *stats.Table        `json:"table"`
+	Notes         []string            `json:"notes,omitempty"`
+	Intervals     []sim.SpecIntervals `json:"intervals,omitempty"`
 }
 
 // MarshalJSON wraps the report in the versioned run-metadata envelope.
@@ -102,24 +114,28 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Meta:          r.Meta,
 		Table:         r.Table,
 		Notes:         r.Notes,
+		Intervals:     r.Intervals,
 	})
 }
 
-// UnmarshalJSON is the inverse of MarshalJSON. It rejects unknown
-// schema versions rather than silently misreading future formats.
+// UnmarshalJSON is the inverse of MarshalJSON. It reads every schema
+// version back to minSchemaVersion — older envelopes simply lack the
+// later optional sections — and rejects unknown future versions rather
+// than silently misreading them. Unknown fields are ignored, so newer
+// additive envelopes still diff against reports this build wrote.
 func (r *Report) UnmarshalJSON(b []byte) error {
 	var j reportJSON
 	if err := json.Unmarshal(b, &j); err != nil {
 		return err
 	}
-	if j.SchemaVersion != SchemaVersion {
-		return fmt.Errorf("experiments: report schema version %d, this build reads %d",
-			j.SchemaVersion, SchemaVersion)
+	if j.SchemaVersion < minSchemaVersion || j.SchemaVersion > SchemaVersion {
+		return fmt.Errorf("experiments: report schema version %d, this build reads %d..%d",
+			j.SchemaVersion, minSchemaVersion, SchemaVersion)
 	}
 	if j.Table == nil {
 		return fmt.Errorf("experiments: report %q has no table", j.ID)
 	}
-	*r = Report{ID: j.ID, Title: j.Title, Table: j.Table, Notes: j.Notes, Meta: j.Meta}
+	*r = Report{ID: j.ID, Title: j.Title, Table: j.Table, Notes: j.Notes, Meta: j.Meta, Intervals: j.Intervals}
 	return nil
 }
 

@@ -166,3 +166,86 @@ func TestDocumentedExampleMatchesMarshaller(t *testing.T) {
 		t.Errorf("documented example does not decode: %v", err)
 	}
 }
+
+// TestReportDecodesV1AndUnknownFields pins the compatibility promise:
+// a schema-v1 envelope (no intervals, possibly carrying fields this
+// build has never heard of) still decodes, so old goldens keep
+// diffing against v2 reports.
+func TestReportDecodesV1AndUnknownFields(t *testing.T) {
+	v1 := `{
+  "schema_version": 1,
+  "id": "fig14",
+  "title": "legacy",
+  "meta": {"warmup_instructions": 100, "some_future_field": {"x": 1}},
+  "table": {"columns": [{"name": "benchmark"}, {"name": "ipc", "unit": "ipc"}],
+            "rows": [[{"kind": "str", "text": "voter"},
+                      {"kind": "num", "text": "2.40", "value": 2.4}]]},
+  "extra_top_level": [1, 2, 3]
+}`
+	rep, err := DecodeReport([]byte(v1))
+	if err != nil {
+		t.Fatalf("v1 envelope rejected: %v", err)
+	}
+	if rep.ID != "fig14" || rep.Table.NumRows() != 1 {
+		t.Errorf("v1 content mangled: id=%q rows=%d", rep.ID, rep.Table.NumRows())
+	}
+	if rep.Intervals != nil {
+		t.Errorf("v1 report grew intervals: %+v", rep.Intervals)
+	}
+	if rep.Meta.WarmupInstructions != 100 {
+		t.Errorf("meta dropped: %+v", rep.Meta)
+	}
+}
+
+// TestReportIntervalsRoundTrip runs a harness with interval collection
+// on and requires the per-spec summaries to survive the JSON trip.
+func TestReportIntervalsRoundTrip(t *testing.T) {
+	o := tinyOpts()
+	o.Interval = 100_000
+	rep, err := Fig14(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Intervals) == 0 {
+		t.Fatal("no interval summaries stamped")
+	}
+	// 2 benchmarks x 4 variants, sorted by benchmark then label.
+	if len(rep.Intervals) != 8 {
+		t.Errorf("summaries = %d, want 8", len(rep.Intervals))
+	}
+	for i := 1; i < len(rep.Intervals); i++ {
+		a, b := rep.Intervals[i-1], rep.Intervals[i]
+		if a.Benchmark > b.Benchmark || (a.Benchmark == b.Benchmark && a.Label > b.Label) {
+			t.Errorf("summaries unsorted at %d: %+v > %+v", i, a, b)
+		}
+	}
+	for _, s := range rep.Intervals {
+		if s.Summary.Count == 0 || s.Summary.IPCMean <= 0 {
+			t.Errorf("empty summary: %+v", s)
+		}
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Intervals, rep.Intervals) {
+		t.Errorf("intervals changed across round trip:\n%+v\n!=\n%+v", back.Intervals, rep.Intervals)
+	}
+	// Without the option the section stays absent entirely.
+	rep2, err := Fig15(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Intervals) != 0 {
+		t.Errorf("intervals stamped while disabled: %+v", rep2.Intervals)
+	}
+	if data, err := json.Marshal(rep2); err != nil {
+		t.Fatal(err)
+	} else if strings.Contains(string(data), `"intervals"`) {
+		t.Error("disabled report still emits an intervals key")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/ftq"
 	"repro/internal/isa"
 	"repro/internal/ittage"
+	"repro/internal/metrics"
 	"repro/internal/program"
 	"repro/internal/ras"
 	"repro/internal/tage"
@@ -117,6 +118,11 @@ type FrontEnd struct {
 	sbdTasks   []sbdTask
 	extraOffs  map[uint64][]uint8 // bogus SBB pcs, per line
 
+	// tr, when non-nil, observes re-steers, misses, and shadow-decode
+	// events; every emission site nil-checks it so a disabled trace
+	// costs one comparison per event.
+	tr metrics.Tracer
+
 	stats Stats
 }
 
@@ -195,6 +201,37 @@ func (f *FrontEnd) SBB() *core.SBB { return f.sbb }
 // SBD exposes the shadow branch decoder (nil without Skia).
 func (f *FrontEnd) SBD() *core.SBD { return f.sbd }
 
+// SetTracer attaches (or, with nil, detaches) an event tracer. The
+// SBB's eviction hook is wired through to the same tracer.
+func (f *FrontEnd) SetTracer(t metrics.Tracer) {
+	f.tr = t
+	if f.sbb == nil {
+		return
+	}
+	if t == nil {
+		f.sbb.OnEvict = nil
+		return
+	}
+	f.sbb.OnEvict = func(isU, retired bool) {
+		kind := metrics.EvSBBEvictR
+		if isU {
+			kind = metrics.EvSBBEvictU
+		}
+		var arg uint64
+		if retired {
+			arg = 1
+		}
+		t.Emit(metrics.Event{Cycle: f.cycle, Kind: kind, Arg: arg})
+	}
+}
+
+// emit records a traced event at the current cycle.
+func (f *FrontEnd) emit(k metrics.EventKind, pc, arg uint64) {
+	if f.tr != nil {
+		f.tr.Emit(metrics.Event{Cycle: f.cycle, Kind: k, PC: pc, Arg: arg})
+	}
+}
+
 // ResetStats zeroes all statistics (front-end and components) at the
 // warmup/measurement boundary without touching learned state.
 func (f *FrontEnd) ResetStats() {
@@ -268,6 +305,7 @@ func (f *FrontEnd) Step(maxDecode int) int {
 		if f.idleStreak > 4096 && f.redir == nil {
 			if st, ok := f.peek(); ok {
 				f.stats.ForcedResyncs++
+				f.emit(metrics.EvForcedResync, st.Inst.PC, 0)
 				f.scheduleRedirect(st.Inst.PC, redirectDecode)
 			}
 			f.idleStreak = 0
@@ -286,6 +324,7 @@ func (f *FrontEnd) scheduleRedirect(pc uint64, kind redirectKind) {
 	switch kind {
 	case redirectDecode:
 		f.stats.DecodeResteers++
+		f.emit(metrics.EvDecodeResteer, pc, 0)
 		f.q.Flush()
 		f.cur = nil
 		f.specPC = pc
@@ -297,6 +336,7 @@ func (f *FrontEnd) scheduleRedirect(pc uint64, kind redirectKind) {
 		f.redir = &redirect{pc: pc, applyAt: f.cycle + uint64(f.cfg.DecodeResteerPenalty), kind: kind}
 	case redirectExec:
 		f.stats.ExecResteers++
+		f.emit(metrics.EvExecResteer, pc, 0)
 		f.redir = &redirect{pc: pc, applyAt: f.cycle + uint64(f.cfg.ExecResteerPenalty), kind: kind}
 	}
 }
@@ -381,6 +421,7 @@ scan:
 					blk.TakenPred = true
 					blk.ViaSBB = true
 					blk.End = pc + uint64(u.Len)
+					f.emit(metrics.EvSBBHitU, pc, u.Target)
 					break scan
 				}
 				if f.sbb.LookupR(pc) {
@@ -391,6 +432,7 @@ scan:
 						blk.ViaSBB = true
 						blk.Class = isa.ClassReturn
 						blk.End = pc + 1
+						f.emit(metrics.EvSBBHitR, pc, tgt)
 						break scan
 					}
 				}
@@ -578,6 +620,13 @@ func (f *FrontEnd) runSBDTasks() {
 				f.sbb.Insert(sb, resident)
 			}
 			f.stats.SBDInserts++
+			if f.tr != nil {
+				kind := metrics.EvSBDInsertU
+				if sb.Class == isa.ClassReturn {
+					kind = metrics.EvSBDInsertR
+				}
+				f.emit(kind, sb.PC, sb.Target)
+			}
 			f.noteSBBInsert(sb)
 		}
 	}
@@ -640,6 +689,7 @@ func (f *FrontEnd) countBTBMiss(blk *Block, in isa.Inst) {
 	if lineResidency(blk, in.PC) {
 		f.stats.BTBMissL1IHit++
 	}
+	f.emit(metrics.EvBTBMiss, in.PC, 0)
 }
 
 // insertBTB installs the executed taken branch at decode.
@@ -749,6 +799,7 @@ func (f *FrontEnd) decode(max int) int {
 // and re-steers to truePC, the sequential continuation.
 func (f *FrontEnd) phantom(truePC uint64) {
 	f.stats.PhantomBranches++
+	f.emit(metrics.EvPhantom, f.cur.BranchPC, truePC)
 	if f.cur.ViaSBB {
 		f.stats.BogusSBBUsed++
 		if f.sbb != nil {
@@ -774,6 +825,7 @@ func (f *FrontEnd) verifyTerminator(st emu.Step) {
 	// handles the true instruction as a freshly discovered branch.
 	if in.Class != blk.Class {
 		f.stats.PhantomBranches++
+		f.emit(metrics.EvPhantom, blk.BranchPC, in.PC)
 		if blk.ViaSBB {
 			f.stats.BogusSBBUsed++
 			if f.sbb != nil {
@@ -854,6 +906,7 @@ func (f *FrontEnd) verifyTerminator(st emu.Step) {
 		f.scheduleRedirect(st.NextPC, redirectDecode)
 	case isa.ClassReturn:
 		f.stats.ReturnMispredicts++
+		f.emit(metrics.EvReturnMispredict, in.PC, st.NextPC)
 		f.scheduleRedirect(st.NextPC, redirectExec)
 	case isa.ClassIndirect, isa.ClassIndirectCall:
 		f.stats.IndirectMispredicts++

@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// sampleAt fabricates a cumulative sample where every counter is a
+// fixed multiple of the instruction count, so interval deltas are easy
+// to predict.
+func sampleAt(insts uint64) Sample {
+	return Sample{
+		Instructions:            insts,
+		Cycles:                  insts / 2, // IPC 2
+		BTBMisses:               insts / 100,
+		SBBCovered:              insts / 200,
+		DecodeResteers:          insts / 400,
+		ExecResteers:            insts / 800,
+		CondMispredicts:         insts / 1000,
+		DecodeIdleCycles:        insts / 8,
+		DecodeIdleFetchCycles:   insts / 16,
+		DecodeIdleResteerCycles: insts / 16,
+		L1IHits:                 insts / 10,
+		L1IMisses:               insts / 30,
+		L2Hits:                  insts / 60,
+		L2Misses:                insts / 120,
+	}
+}
+
+// drive runs a collector over a window as the core does: Record at
+// each boundary crossing (overshooting by `step` as retire width
+// does), Finish at the end.
+func drive(c *Collector, window, step uint64) {
+	c.Reset(sampleAt(0))
+	var insts uint64
+	for insts < window {
+		insts += step
+		if insts > window {
+			insts = window
+		}
+		if insts >= c.Next() {
+			c.Record(sampleAt(insts))
+		}
+	}
+	c.Finish(sampleAt(insts))
+}
+
+func TestCollectorEvenWindow(t *testing.T) {
+	c := NewCollector(1000)
+	drive(c, 3000, 10)
+	ivs := c.Intervals()
+	if len(ivs) != 3 {
+		t.Fatalf("intervals = %d, want 3", len(ivs))
+	}
+	for i, iv := range ivs {
+		if iv.Index != i {
+			t.Errorf("interval %d has index %d", i, iv.Index)
+		}
+		if iv.Instructions != 1000 {
+			t.Errorf("interval %d width = %d, want 1000", i, iv.Instructions)
+		}
+		if iv.IPC != 2 {
+			t.Errorf("interval %d IPC = %v, want 2", i, iv.IPC)
+		}
+	}
+}
+
+// TestCollectorPartialFinal covers a window not divisible by the
+// interval: the final row is partial and the widths sum to the window.
+func TestCollectorPartialFinal(t *testing.T) {
+	c := NewCollector(1000)
+	drive(c, 2500, 10)
+	ivs := c.Intervals()
+	if len(ivs) != 3 {
+		t.Fatalf("intervals = %d, want 3", len(ivs))
+	}
+	if last := ivs[2]; last.Instructions != 500 {
+		t.Errorf("final partial width = %d, want 500", last.Instructions)
+	}
+}
+
+// TestCollectorIntervalLargerThanWindow covers the opposite edge: one
+// partial interval spanning the whole window.
+func TestCollectorIntervalLargerThanWindow(t *testing.T) {
+	c := NewCollector(1_000_000)
+	drive(c, 2500, 10)
+	ivs := c.Intervals()
+	if len(ivs) != 1 {
+		t.Fatalf("intervals = %d, want 1", len(ivs))
+	}
+	if ivs[0].Instructions != 2500 || ivs[0].StartInstruction != 0 || ivs[0].EndInstruction != 2500 {
+		t.Errorf("interval = %+v", ivs[0])
+	}
+}
+
+// TestCollectorEmptyWindow covers warmup-only runs: zero instructions
+// after the baseline emit nothing.
+func TestCollectorEmptyWindow(t *testing.T) {
+	c := NewCollector(1000)
+	c.Reset(sampleAt(12345))
+	c.Finish(sampleAt(12345))
+	if n := len(c.Intervals()); n != 0 {
+		t.Fatalf("intervals = %d, want 0", n)
+	}
+	if s := c.Summary(); s.Count != 0 || s.Instructions != 0 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+// TestCollectorOvershoot checks a Record that lands past several
+// boundaries at once still yields exactly one interval and the next
+// boundary lands beyond the sample.
+func TestCollectorOvershoot(t *testing.T) {
+	c := NewCollector(100)
+	c.Reset(sampleAt(0))
+	c.Record(sampleAt(750)) // crossed boundaries 100..700 in one retire burst
+	if n := len(c.Intervals()); n != 1 {
+		t.Fatalf("intervals = %d, want 1", n)
+	}
+	if c.Next() != 800 {
+		t.Errorf("next boundary = %d, want 800", c.Next())
+	}
+}
+
+// TestCollectorSumsToAggregate is the conservation law the acceptance
+// criteria name: per-interval deltas of every counter sum to the
+// aggregate between baseline and final sample.
+func TestCollectorSumsToAggregate(t *testing.T) {
+	c := NewCollector(700) // deliberately misaligned with the window
+	drive(c, 10_000, 12)
+	final := sampleAt(10_000)
+	var insts, cycles, misses, covered, dec, exe, cond uint64
+	for _, iv := range c.Intervals() {
+		insts += iv.Instructions
+		cycles += iv.Cycles
+		misses += iv.BTBMisses
+		covered += iv.SBBCovered
+		dec += iv.DecodeResteers
+		exe += iv.ExecResteers
+		cond += iv.CondMispredicts
+	}
+	if insts != final.Instructions || cycles != final.Cycles {
+		t.Errorf("insts/cycles sum %d/%d, want %d/%d", insts, cycles, final.Instructions, final.Cycles)
+	}
+	if misses != final.BTBMisses || covered != final.SBBCovered {
+		t.Errorf("misses/covered sum %d/%d, want %d/%d", misses, covered, final.BTBMisses, final.SBBCovered)
+	}
+	if dec != final.DecodeResteers || exe != final.ExecResteers || cond != final.CondMispredicts {
+		t.Errorf("resteer/cond sums %d/%d/%d, want %d/%d/%d",
+			dec, exe, cond, final.DecodeResteers, final.ExecResteers, final.CondMispredicts)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ivs := []Interval{
+		{Instructions: 100, Cycles: 100, IPC: 1, BTBMissMPKI: 5},
+		{Instructions: 300, Cycles: 100, IPC: 3, BTBMissMPKI: 2},
+		{Instructions: 200, Cycles: 100, IPC: 2, BTBMissMPKI: 9},
+	}
+	s := Summarize(1000, ivs)
+	if s.Count != 3 || s.Every != 1000 {
+		t.Errorf("count/every = %d/%d", s.Count, s.Every)
+	}
+	if s.IPCMin != 1 || s.IPCMax != 3 || s.IPCFirst != 1 || s.IPCLast != 2 {
+		t.Errorf("ipc spread = %+v", s)
+	}
+	if math.Abs(s.IPCMean-2) > 1e-12 { // 600 insts / 300 cycles
+		t.Errorf("ipc mean = %v, want 2", s.IPCMean)
+	}
+	if s.BTBMissMPKIMax != 9 {
+		t.Errorf("mpki max = %v, want 9", s.BTBMissMPKIMax)
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	c := NewCollector(1000)
+	drive(c, 2500, 10)
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, c.Intervals()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var rows int
+	for sc.Scan() {
+		var iv Interval
+		if err := json.Unmarshal(sc.Bytes(), &iv); err != nil {
+			t.Fatalf("row %d: %v", rows, err)
+		}
+		if iv.Index != rows {
+			t.Errorf("row %d has index %d", rows, iv.Index)
+		}
+		// Spot-check that the keyed fields the tooling depends on
+		// survive the trip.
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []string{"index", "instructions", "cycles", "ipc",
+			"btb_miss_mpki", "effective_miss_mpki", "sbb_coverage",
+			"decode_idle_frac", "l1i_hit_rate", "l2_hit_rate"} {
+			if _, ok := m[k]; !ok {
+				t.Errorf("row %d lacks key %q", rows, k)
+			}
+		}
+		rows++
+	}
+	if rows != len(c.Intervals()) {
+		t.Errorf("rows = %d, want %d", rows, len(c.Intervals()))
+	}
+}

@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profiler bundles the standard Go profiling hooks every simulator CLI
+// exposes: CPU and heap profiles, a runtime execution trace, and a
+// net/http/pprof listener for live inspection of long runs.
+type Profiler struct {
+	// CPUProfile, MemProfile, and Trace are output file paths; empty
+	// disables the corresponding hook.
+	CPUProfile string
+	MemProfile string
+	Trace      string
+	// PprofAddr is a listen address (e.g. "localhost:6060") for the
+	// net/http/pprof debug server; empty disables it.
+	PprofAddr string
+}
+
+// RegisterFlags installs the conventional flag names on fs.
+func (p *Profiler) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&p.Trace, "trace", "", "write a Go runtime execution trace to this file")
+	fs.StringVar(&p.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+}
+
+// Start begins the enabled hooks and returns a stop function to run at
+// exit (it stops the CPU profile and runtime trace and writes the heap
+// profile). The pprof HTTP server, if any, runs until the process
+// exits.
+func (p *Profiler) Start() (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if p.CPUProfile != "" {
+		cpuFile, err = os.Create(p.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("metrics: cpuprofile: %w", err)
+		}
+	}
+	if p.Trace != "" {
+		traceFile, err = os.Create(p.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("metrics: trace: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("metrics: trace: %w", err)
+		}
+	}
+	if p.PprofAddr != "" {
+		go func() {
+			// Best-effort: a busy port only costs the debug server.
+			if err := http.ListenAndServe(p.PprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics: pprof server: %v\n", err)
+			}
+		}()
+	}
+	return func() error {
+		cleanup()
+		if p.MemProfile != "" {
+			f, err := os.Create(p.MemProfile)
+			if err != nil {
+				return fmt.Errorf("metrics: memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("metrics: memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

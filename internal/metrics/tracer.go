@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EventKind classifies one traced front-end event.
+type EventKind uint8
+
+const (
+	// EvDecodeResteer is an early re-steer raised at decode.
+	EvDecodeResteer EventKind = iota
+	// EvExecResteer is a late re-steer raised at execute.
+	EvExecResteer
+	// EvForcedResync is the safety-valve resync after implausibly long
+	// decoder starvation (indicates a modeling bug).
+	EvForcedResync
+	// EvBTBMiss is a taken true-path branch the BTB failed to identify.
+	EvBTBMiss
+	// EvSBBHitU / EvSBBHitR are SBB lookups that steered the IAG.
+	EvSBBHitU
+	EvSBBHitR
+	// EvSBDInsertU / EvSBDInsertR are shadow-decode results installed
+	// into the corresponding SBB.
+	EvSBDInsertU
+	EvSBDInsertR
+	// EvSBBEvictU / EvSBBEvictR are SBB capacity evictions; Arg is 1
+	// when the evicted entry had its retired bit set (a useful entry
+	// lost, not a possibly-bogus one).
+	EvSBBEvictU
+	EvSBBEvictR
+	// EvPhantom is a predicted-taken terminator exposed as not a branch
+	// on the true path (BTB alias or bogus SBB entry).
+	EvPhantom
+	// EvReturnMispredict is a RAS-supplied target proven wrong.
+	EvReturnMispredict
+
+	numEventKinds
+)
+
+// Track is a timeline row in the exported trace: one per front-end
+// component, matching the paper's block diagram.
+type Track uint8
+
+const (
+	TrackFetch Track = iota
+	TrackDecode
+	TrackBTB
+	TrackUSBB
+	TrackRSBB
+	TrackRAS
+
+	numTracks
+)
+
+var trackNames = [numTracks]string{
+	TrackFetch:  "fetch",
+	TrackDecode: "decode",
+	TrackBTB:    "BTB",
+	TrackUSBB:   "U-SBB",
+	TrackRSBB:   "R-SBB",
+	TrackRAS:    "RAS",
+}
+
+// String returns the track's display name.
+func (t Track) String() string { return trackNames[t] }
+
+var kindInfo = [numEventKinds]struct {
+	name  string
+	track Track
+}{
+	EvDecodeResteer:    {"decode-resteer", TrackDecode},
+	EvExecResteer:      {"exec-resteer", TrackFetch},
+	EvForcedResync:     {"forced-resync", TrackFetch},
+	EvBTBMiss:          {"btb-miss", TrackBTB},
+	EvSBBHitU:          {"sbb-hit", TrackUSBB},
+	EvSBBHitR:          {"sbb-hit", TrackRSBB},
+	EvSBDInsertU:       {"sbd-insert", TrackUSBB},
+	EvSBDInsertR:       {"sbd-insert", TrackRSBB},
+	EvSBBEvictU:        {"sbb-evict", TrackUSBB},
+	EvSBBEvictR:        {"sbb-evict", TrackRSBB},
+	EvPhantom:          {"phantom-branch", TrackDecode},
+	EvReturnMispredict: {"return-mispredict", TrackRAS},
+}
+
+// String returns the event kind's display name.
+func (k EventKind) String() string { return kindInfo[k].name }
+
+// Track returns the timeline the kind renders on.
+func (k EventKind) Track() Track { return kindInfo[k].track }
+
+// Event is one traced occurrence. Cycle is simulated time; PC is the
+// branch or instruction address involved; Arg carries kind-specific
+// detail (a target address, or a 0/1 flag).
+type Event struct {
+	Cycle uint64
+	Kind  EventKind
+	PC    uint64
+	Arg   uint64
+}
+
+// Tracer receives events from the front-end. Implementations must be
+// cheap: Emit is called on every re-steer, miss, and shadow-decode
+// event. The front-end holds a nil-checkable Tracer, so a disabled
+// trace costs one nil comparison per event site.
+type Tracer interface {
+	Emit(Event)
+}
+
+// RingTracer records the most recent events in a fixed-capacity ring,
+// bounding memory no matter how long the run. Not safe for concurrent
+// use: attach one tracer per core.
+type RingTracer struct {
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// DefaultRingCapacity bounds a RingTracer built with capacity <= 0.
+const DefaultRingCapacity = 1 << 20
+
+// NewRingTracer returns a ring holding up to cap events (<= 0 selects
+// DefaultRingCapacity).
+func NewRingTracer(capacity int) *RingTracer {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &RingTracer{buf: make([]Event, 0, capacity)}
+}
+
+// Emit records an event, overwriting the oldest once the ring is full.
+func (t *RingTracer) Emit(e Event) {
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.next] = e
+		t.next = (t.next + 1) % len(t.buf)
+	}
+	t.total++
+}
+
+// Total counts all events emitted, including overwritten ones.
+func (t *RingTracer) Total() uint64 { return t.total }
+
+// Dropped counts events lost to ring wraparound.
+func (t *RingTracer) Dropped() uint64 { return t.total - uint64(len(t.buf)) }
+
+// Events returns the retained events oldest-first.
+func (t *RingTracer) Events() []Event {
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// ph "M" rows are metadata naming processes/threads, ph "i" rows are
+// instant events. Perfetto and chrome://tracing load this directly.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace file.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports events as Chrome trace_event JSON: one
+// thread (track) per front-end component, one instant event per
+// recording, timestamped in simulated cycles (1 cycle = 1 µs of trace
+// time, so Perfetto's zoom and duration readouts count cycles).
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Phase: "M", PID: 1,
+		Args: map[string]any{"name": "skia-frontend"},
+	})
+	for tr := Track(0); tr < numTracks; tr++ {
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{
+				Name: "thread_name", Phase: "M", PID: 1, TID: int(tr) + 1,
+				Args: map[string]any{"name": tr.String()},
+			},
+			chromeEvent{
+				Name: "thread_sort_index", Phase: "M", PID: 1, TID: int(tr) + 1,
+				Args: map[string]any{"sort_index": int(tr)},
+			})
+	}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name:  e.Kind.String(),
+			Phase: "i",
+			Scope: "t",
+			TS:    e.Cycle,
+			PID:   1,
+			TID:   int(e.Kind.Track()) + 1,
+			Args:  map[string]any{"pc": fmt.Sprintf("%#x", e.PC)},
+		}
+		switch e.Kind {
+		case EvSBBHitU, EvSBDInsertU, EvSBDInsertR:
+			ce.Args["target"] = fmt.Sprintf("%#x", e.Arg)
+		case EvSBBEvictU, EvSBBEvictR:
+			ce.Args["retired"] = e.Arg == 1
+		case EvDecodeResteer, EvExecResteer, EvForcedResync:
+			ce.Args["to"] = fmt.Sprintf("%#x", e.PC)
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/btb"
 	"repro/internal/cpu"
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -38,12 +39,31 @@ type RunSpec struct {
 	Warmup, Measure uint64
 	// Label annotates the result (e.g. "skia", "btb+state").
 	Label string
+	// Interval enables interval metrics collection over the
+	// measurement window, one row per this many retired instructions
+	// (0 falls back to the Runner's Interval; both 0 disables).
+	Interval uint64
+	// Tracer, when non-nil, receives front-end events during the
+	// measurement window. Each spec needs its own tracer: cores are
+	// not safe for concurrent use and RunAll runs specs in parallel.
+	Tracer metrics.Tracer
 }
 
 // Result pairs a cpu.Result with its spec label.
 type Result struct {
 	cpu.Result
 	Label string
+	// Intervals holds the per-interval timeseries rows when the spec
+	// (or runner) enabled interval collection; nil otherwise.
+	Intervals []metrics.Interval
+}
+
+// SpecIntervals pairs one spec's interval summary with its identity,
+// for embedding in report envelopes.
+type SpecIntervals struct {
+	Benchmark string          `json:"benchmark"`
+	Label     string          `json:"label,omitempty"`
+	Summary   metrics.Summary `json:"summary"`
 }
 
 // SpecTiming records the wall time and instruction volume of one
@@ -83,12 +103,20 @@ type Runner struct {
 	// Workers bounds concurrent simulations in RunAll (default:
 	// GOMAXPROCS).
 	Workers int
+	// Interval, when nonzero, enables interval metrics on every Run
+	// whose spec leaves RunSpec.Interval at zero — the switch the
+	// experiment harnesses flip from Options without touching specs.
+	Interval uint64
 
-	timings    []SpecTiming
-	totalInsts uint64
-	cpuSeconds float64
-	firstStart time.Time
-	lastEnd    time.Time
+	// All capture below is guarded by mu: Run is called from RunAll's
+	// worker goroutines, and each run's collector lives privately in
+	// its Run call until record() books the summary.
+	timings      []SpecTiming
+	intervalSums []SpecIntervals
+	totalInsts   uint64
+	cpuSeconds   float64
+	firstStart   time.Time
+	lastEnd      time.Time
 }
 
 // NewRunner returns an empty runner.
@@ -117,8 +145,8 @@ func (r *Runner) Workload(name string) (*workload.Workload, error) {
 }
 
 // record books one successful simulation into the runner's timing
-// counters.
-func (r *Runner) record(spec RunSpec, insts uint64, start, end time.Time) {
+// counters, together with its interval summary when a collector ran.
+func (r *Runner) record(spec RunSpec, insts uint64, start, end time.Time, col *metrics.Collector) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.timings = append(r.timings, SpecTiming{
@@ -127,6 +155,13 @@ func (r *Runner) record(spec RunSpec, insts uint64, start, end time.Time) {
 		Instructions: insts,
 		Seconds:      end.Sub(start).Seconds(),
 	})
+	if col != nil {
+		r.intervalSums = append(r.intervalSums, SpecIntervals{
+			Benchmark: spec.Benchmark,
+			Label:     spec.Label,
+			Summary:   col.Summary(),
+		})
+	}
 	r.totalInsts += insts
 	r.cpuSeconds += end.Sub(start).Seconds()
 	if r.firstStart.IsZero() || start.Before(r.firstStart) {
@@ -187,6 +222,23 @@ func (r *Runner) Run(spec RunSpec) (Result, error) {
 	}
 	c.Run(warm)
 	c.ResetStats()
+	// Observability attaches at the warmup boundary so intervals and
+	// traces cover exactly the measurement window the statistics do.
+	// The collector is private to this call — RunAll's workers never
+	// share one — so capture stays race-free; only record() touches
+	// runner state, under the mutex.
+	interval := spec.Interval
+	if interval == 0 {
+		interval = r.Interval
+	}
+	var col *metrics.Collector
+	if interval > 0 {
+		col = metrics.NewCollector(interval)
+		c.AttachCollector(col)
+	}
+	if spec.Tracer != nil {
+		c.SetTracer(spec.Tracer)
+	}
 	c.Run(meas)
 	if err := c.Frontend().Err(); err != nil {
 		return Result{}, fmt.Errorf("sim: %s: %w", spec.Benchmark, err)
@@ -196,8 +248,28 @@ func (r *Runner) Run(spec RunSpec) (Result, error) {
 		return Result{}, fmt.Errorf("sim: %s: %d forced resyncs indicate a front-end modeling bug",
 			spec.Benchmark, res.FE.ForcedResyncs)
 	}
-	r.record(spec, warm+meas, start, time.Now())
-	return Result{Result: res, Label: spec.Label}, nil
+	out := Result{Result: res, Label: spec.Label}
+	if col != nil {
+		col.Finish(c.Sample())
+		out.Intervals = col.Intervals()
+	}
+	r.record(spec, warm+meas, start, time.Now(), col)
+	return out, nil
+}
+
+// IntervalSummaries returns one summary per interval-collecting run so
+// far, sorted by benchmark then label (matching Stats().Specs order).
+func (r *Runner) IntervalSummaries() []SpecIntervals {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]SpecIntervals(nil), r.intervalSums...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Benchmark != out[j].Benchmark {
+			return out[i].Benchmark < out[j].Benchmark
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
 }
 
 // RunAll executes the specs concurrently (bounded by Workers) and

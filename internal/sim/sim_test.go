@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
 	"repro/internal/btb"
 	"repro/internal/cpu"
+	"repro/internal/metrics"
 )
 
 func quickSpec(label string, skia bool) RunSpec {
@@ -226,5 +228,174 @@ func TestRunnerStats(t *testing.T) {
 	}
 	if got := r.Stats().Runs; got != 2 {
 		t.Errorf("failed run booked a timing: Runs = %d", got)
+	}
+}
+
+// TestRunIntervalsSumToAggregate is the acceptance check for the
+// observability layer: with interval collection enabled, the
+// per-interval counter deltas (including the final partial interval)
+// must sum exactly to the run's aggregate frontend.Stats and the
+// interval widths to the measured window.
+func TestRunIntervalsSumToAggregate(t *testing.T) {
+	r := NewRunner()
+	spec := quickSpec("iv", true)
+	spec.Benchmark = "voter"
+	spec.Interval = 40_000 // deliberately misaligned with 150k measured
+	res, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) == 0 {
+		t.Fatal("no intervals collected")
+	}
+	var insts, cycles, misses, covered, dec, exe, cond uint64
+	for _, iv := range res.Intervals {
+		insts += iv.Instructions
+		cycles += iv.Cycles
+		misses += iv.BTBMisses
+		covered += iv.SBBCovered
+		dec += iv.DecodeResteers
+		exe += iv.ExecResteers
+		cond += iv.CondMispredicts
+	}
+	if insts != res.Instructions || cycles != res.Cycles {
+		t.Errorf("interval sums %d insts / %d cycles, aggregate %d / %d",
+			insts, cycles, res.Instructions, res.Cycles)
+	}
+	fe := res.FE
+	if misses != fe.BTBMissTotal() {
+		t.Errorf("BTB miss sum %d, aggregate %d", misses, fe.BTBMissTotal())
+	}
+	if covered != fe.SBBCoveredTotal() {
+		t.Errorf("SBB covered sum %d, aggregate %d", covered, fe.SBBCoveredTotal())
+	}
+	if dec != fe.DecodeResteers || exe != fe.ExecResteers {
+		t.Errorf("resteer sums %d/%d, aggregate %d/%d", dec, exe, fe.DecodeResteers, fe.ExecResteers)
+	}
+	if cond != fe.CondMispredicts {
+		t.Errorf("cond mispredict sum %d, aggregate %d", cond, fe.CondMispredicts)
+	}
+	// Intervals cover contiguous, strictly increasing ranges.
+	for i := 1; i < len(res.Intervals); i++ {
+		if res.Intervals[i].StartInstruction != res.Intervals[i-1].EndInstruction {
+			t.Errorf("interval %d not contiguous: %+v after %+v",
+				i, res.Intervals[i], res.Intervals[i-1])
+		}
+	}
+}
+
+// TestRunIntervalLargerThanWindow: a single partial interval covers the
+// whole measured window.
+func TestRunIntervalLargerThanWindow(t *testing.T) {
+	r := NewRunner()
+	spec := quickSpec("big", false)
+	spec.Interval = 10_000_000
+	res, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) != 1 {
+		t.Fatalf("intervals = %d, want 1", len(res.Intervals))
+	}
+	if res.Intervals[0].Instructions != res.Instructions {
+		t.Errorf("partial interval %d insts, window %d",
+			res.Intervals[0].Instructions, res.Instructions)
+	}
+}
+
+// TestRunnerIntervalDefault: the runner-level knob enables collection
+// for specs that leave Interval zero, and summaries land in
+// IntervalSummaries sorted like Stats().Specs.
+func TestRunnerIntervalDefault(t *testing.T) {
+	r := NewRunner()
+	r.Interval = 50_000
+	if _, err := r.RunAll([]RunSpec{quickSpec("a", false), quickSpec("b", true)}); err != nil {
+		t.Fatal(err)
+	}
+	sums := r.IntervalSummaries()
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	if sums[0].Label != "a" || sums[1].Label != "b" {
+		t.Errorf("summaries not sorted: %+v", sums)
+	}
+	for _, s := range sums {
+		if s.Benchmark != "noop" || s.Summary.Count == 0 || s.Summary.Instructions == 0 {
+			t.Errorf("empty summary: %+v", s)
+		}
+		if s.Summary.Every != 50_000 {
+			t.Errorf("every = %d", s.Summary.Every)
+		}
+	}
+	// Disabled runners collect nothing.
+	r2 := NewRunner()
+	if _, err := r2.Run(quickSpec("off", false)); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.IntervalSummaries(); len(got) != 0 {
+		t.Errorf("intervals collected while disabled: %+v", got)
+	}
+}
+
+// TestRunTracerRecordsEvents: a per-spec tracer sees the measurement
+// window's re-steer and shadow-branch events.
+func TestRunTracerRecordsEvents(t *testing.T) {
+	r := NewRunner()
+	spec := quickSpec("tr", true)
+	spec.Benchmark = "voter"
+	tr := metrics.NewRingTracer(1 << 16)
+	spec.Tracer = tr
+	res, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total() == 0 {
+		t.Fatal("no events traced")
+	}
+	kinds := map[metrics.EventKind]uint64{}
+	for _, e := range tr.Events() {
+		kinds[e.Kind]++
+	}
+	// The traced decode re-steer count can only be bounded by the
+	// aggregate (the ring may have dropped events); with a roomy ring
+	// and this window nothing drops, so the counts must match.
+	if tr.Dropped() == 0 && kinds[metrics.EvDecodeResteer] != res.FE.DecodeResteers {
+		t.Errorf("traced %d decode re-steers, stats say %d",
+			kinds[metrics.EvDecodeResteer], res.FE.DecodeResteers)
+	}
+	if res.FE.SBDInserts > 0 && kinds[metrics.EvSBDInsertU]+kinds[metrics.EvSBDInsertR] == 0 {
+		t.Error("SBD inserted but no insert events traced")
+	}
+}
+
+// TestRunAllCollectorsRaceFree runs many interval- and tracer-equipped
+// specs concurrently; under `go test -race` (the CI race job) this
+// fails loudly if per-spec capture shares state across workers.
+func TestRunAllCollectorsRaceFree(t *testing.T) {
+	r := NewRunner()
+	r.Workers = 4
+	r.Interval = 30_000
+	var specs []RunSpec
+	tracers := make([]*metrics.RingTracer, 6)
+	for i := range tracers {
+		tracers[i] = metrics.NewRingTracer(1 << 12)
+		s := quickSpec("t"+strconv.Itoa(i), i%2 == 0)
+		s.Tracer = tracers[i]
+		specs = append(specs, s)
+	}
+	results, err := r.RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if len(res.Intervals) == 0 {
+			t.Errorf("spec %d collected no intervals", i)
+		}
+	}
+	if got := len(r.IntervalSummaries()); got != len(specs) {
+		t.Errorf("summaries = %d, want %d", got, len(specs))
+	}
+	if got := len(r.Stats().Specs); got != len(specs) {
+		t.Errorf("timings = %d, want %d", got, len(specs))
 	}
 }
