@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/attrib"
 	"repro/internal/cpu"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
@@ -239,6 +240,31 @@ func BenchmarkFrontEndCycle_WithTracer(b *testing.B) {
 	attach := func(c *cpu.Core) {
 		c.AttachCollector(metrics.NewCollector(10_000))
 		c.SetTracer(metrics.NewRingTracer(1 << 16))
+	}
+	attach(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Run(1000) == 0 {
+			b.StopTimer()
+			c = observabilityCore(b)
+			attach(c)
+			b.StartTimer()
+		}
+	}
+	b.ReportMetric(float64(c.Retired())/float64(b.Elapsed().Seconds())/1e6, "Minsts/s")
+}
+
+// BenchmarkFrontEndCycle_WithAttribution measures the loop with a miss
+// attribution engine attached: per-cycle FTQ sampling, per-miss
+// classification, and per-stall-cycle accounting. Compare ns/op against
+// _NoObservability; attribution must stay within a few percent (the
+// <2% guard is on the *disabled* path, which stays a nil check —
+// enabled attribution is expected to cost slightly more than tracing
+// since it hooks every cycle).
+func BenchmarkFrontEndCycle_WithAttribution(b *testing.B) {
+	c := observabilityCore(b)
+	attach := func(c *cpu.Core) {
+		c.AttachAttribution(attrib.NewEngine())
 	}
 	attach(c)
 	b.ResetTimer()

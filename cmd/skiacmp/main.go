@@ -13,6 +13,12 @@
 // magnitude. Experiments, rows, or columns present in BASE but
 // missing from NEW also fail; additions only warn.
 //
+// When the envelopes carry the optional `intervals` (schema v2+) or
+// `attribution` (schema v3+) sections, those diff too: per-spec
+// interval IPC mean and SBB coverage under -iv-rtol, and attribution
+// shares (BTB-miss cause mix, stall mix, shadow residency) under the
+// absolute -attrib-tol bound.
+//
 // Exit status: 0 when NEW is within tolerance of BASE, 1 on any
 // regression, 2 on usage or load errors.
 //
@@ -33,9 +39,11 @@ import (
 
 func main() {
 	var (
-		rtol    = flag.Float64("rtol", 0.05, "relative tolerance per numeric cell")
-		atol    = flag.Float64("atol", 1e-6, "absolute tolerance floor for near-zero cells")
-		flipMin = flag.Float64("flip-min", 1e-3, "minimum |speedup| on both sides before a sign flip counts")
+		rtol      = flag.Float64("rtol", 0.05, "relative tolerance per numeric cell")
+		atol      = flag.Float64("atol", 1e-6, "absolute tolerance floor for near-zero cells")
+		flipMin   = flag.Float64("flip-min", 1e-3, "minimum |speedup| on both sides before a sign flip counts")
+		ivRTol    = flag.Float64("iv-rtol", 0.05, "relative tolerance for per-spec interval summaries (IPC mean, SBB coverage)")
+		attribTol = flag.Float64("attrib-tol", 0.05, "absolute tolerance for attribution shares (cause/stall mix, shadow residency)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: skiacmp [flags] BASE NEW\n\nflags:\n")
@@ -58,6 +66,7 @@ func main() {
 	}
 	res := compare.Diff(base, head, compare.Options{
 		RTol: *rtol, ATol: *atol, FlipMin: *flipMin,
+		IVRTol: *ivRTol, AttribTol: *attribTol,
 	})
 	fmt.Print(res)
 	if res.Failed() {

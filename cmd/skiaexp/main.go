@@ -120,6 +120,8 @@ func main() {
 
 		intervals = flag.Uint64("intervals", 0,
 			"collect interval metrics every N retired instructions per run; summaries land in the report envelope's `intervals` section (0 = off)")
+		attribOn = flag.Bool("attrib", false,
+			"classify BTB misses and stall cycles by cause on every run; summaries land in the report envelope's `attribution` section")
 	)
 	var prof metrics.Profiler
 	prof.RegisterFlags(flag.CommandLine)
@@ -153,7 +155,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Workers: *workers, Interval: *intervals}
+	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Workers: *workers, Interval: *intervals, Attrib: *attribOn}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}

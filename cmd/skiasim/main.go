@@ -15,6 +15,8 @@
 //	skiasim -bench voter -skia -intervals 100000 -intervals-out iv.ndjson
 //	skiasim -bench voter -skia -trace-out fe.trace.json   # open in Perfetto
 //	skiasim -bench voter -cpuprofile cpu.pprof -pprof localhost:6060
+//	skiasim -bench voter -attrib                # why is my BTB missing?
+//	skiasim -bench voter -skia -attrib-out at.ndjson
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/attrib"
 	"repro/internal/cpu"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -49,6 +52,10 @@ func main() {
 			"record front-end events and write Chrome trace_event JSON (Perfetto-loadable) to this file")
 		traceBuf = flag.Int("trace-buf", metrics.DefaultRingCapacity,
 			"event-trace ring capacity; oldest events drop past this")
+		attribOn = flag.Bool("attrib", false,
+			"classify every BTB miss and front-end stall cycle by cause (implied by -attrib-out)")
+		attribOut = flag.String("attrib-out", "",
+			"write the attribution summary as NDJSON to this file")
 	)
 	var prof metrics.Profiler
 	prof.RegisterFlags(flag.CommandLine)
@@ -81,6 +88,9 @@ func main() {
 	if *intervalsOut != "" && *intervals == 0 {
 		*intervals = metrics.DefaultEvery
 	}
+	if *attribOut != "" {
+		*attribOn = true
+	}
 	var tracer *metrics.RingTracer
 	if *traceOut != "" {
 		tracer = metrics.NewRingTracer(*traceBuf)
@@ -91,6 +101,7 @@ func main() {
 		Benchmark: *bench, Config: cfg,
 		Warmup: *warmup, Measure: *measure, Label: "run",
 		Interval: *intervals,
+		Attrib:   *attribOn,
 	}
 	if tracer != nil {
 		spec.Tracer = tracer
@@ -111,7 +122,15 @@ func main() {
 	}
 	if tracer != nil {
 		if err := writeFileWith(*traceOut, func(f *os.File) error {
-			return metrics.WriteChromeTrace(f, tracer.Events())
+			return tracer.WriteChromeTrace(f)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "skiasim:", err)
+			os.Exit(1)
+		}
+	}
+	if *attribOut != "" && res.Attribution != nil {
+		if err := writeFileWith(*attribOut, func(f *os.File) error {
+			return attrib.WriteNDJSON(f, *bench, "run", *res.Attribution)
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "skiasim:", err)
 			os.Exit(1)
@@ -162,6 +181,40 @@ func main() {
 	if tracer != nil {
 		row("traced events (kept/total)", "%d/%d",
 			uint64(len(tracer.Events())), tracer.Total())
+	}
+	if at := res.Attribution; at != nil {
+		row("BTB misses attributed", "%d", at.BTBMisses)
+		row("shadow-resident share", "%.1f%%", at.ShadowResidentShare*100)
+		row("  head / tail split", "%.1f%% / %.1f%%", at.HeadShare*100, at.TailShare*100)
+		for _, c := range at.Causes {
+			if c.Count > 0 {
+				row("  cause "+c.Cause, "%d (%.1f%%)", c.Count, c.Share*100)
+			}
+		}
+		row("stall cycles attributed", "%d", at.StallCycles)
+		for _, s := range at.Stalls {
+			if s.Count > 0 {
+				row("  stall "+s.Kind, "%d (%.1f%%)", s.Count, s.Share*100)
+			}
+		}
+		for i, o := range at.TopOffenders {
+			if i >= 5 {
+				break
+			}
+			row(fmt.Sprintf("  offender #%d", i+1), "pc 0x%x: %d misses (%s)",
+				o.PC, o.Count, o.TopCause)
+		}
+		row("FTQ occupancy p50/p90", "%.0f / %.0f", at.FTQOccupancy.P50, at.FTQOccupancy.P90)
+		if at.SBDValidPaths.Count > 0 {
+			row("SBD valid paths p50/p99", "%.0f / %.0f", at.SBDValidPaths.P50, at.SBDValidPaths.P99)
+		}
+		if at.SBBLifetime.Count > 0 {
+			row("SBB evicted-entry lifetime p50", "%.0f cycles", at.SBBLifetime.P50)
+		}
+		if at.ResteerDistance.Count > 0 {
+			row("re-steer distance p50/p99", "%.0f / %.0f bytes",
+				at.ResteerDistance.P50, at.ResteerDistance.P99)
+		}
 	}
 	fmt.Print(tb)
 

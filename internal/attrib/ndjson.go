@@ -1,0 +1,122 @@
+package attrib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// NDJSON row shapes. Every row carries "type" plus the benchmark/label
+// identity, so rows from several specs can share one stream and still
+// be grouped by consumers (same convention as the interval rows).
+type ndjsonTotal struct {
+	Type                string  `json:"type"`
+	Benchmark           string  `json:"benchmark"`
+	Label               string  `json:"label,omitempty"`
+	BTBMisses           uint64  `json:"btb_misses"`
+	StallCycles         uint64  `json:"stall_cycles"`
+	ShadowResidentShare float64 `json:"shadow_resident_share"`
+	HeadShare           float64 `json:"head_share"`
+	TailShare           float64 `json:"tail_share"`
+}
+
+type ndjsonCause struct {
+	Type      string  `json:"type"`
+	Benchmark string  `json:"benchmark"`
+	Label     string  `json:"label,omitempty"`
+	Cause     string  `json:"cause"`
+	Count     uint64  `json:"count"`
+	Share     float64 `json:"share"`
+}
+
+type ndjsonStall struct {
+	Type      string  `json:"type"`
+	Benchmark string  `json:"benchmark"`
+	Label     string  `json:"label,omitempty"`
+	Kind      string  `json:"kind"`
+	Count     uint64  `json:"count"`
+	Share     float64 `json:"share"`
+}
+
+type ndjsonOffender struct {
+	Type      string `json:"type"`
+	Benchmark string `json:"benchmark"`
+	Label     string `json:"label,omitempty"`
+	PC        string `json:"pc"`
+	Count     uint64 `json:"count"`
+	TopCause  string `json:"top_cause"`
+}
+
+type ndjsonDist struct {
+	Type      string  `json:"type"`
+	Benchmark string  `json:"benchmark"`
+	Label     string  `json:"label,omitempty"`
+	Name      string  `json:"name"`
+	Count     int     `json:"count"`
+	Mean      float64 `json:"mean"`
+	P50       float64 `json:"p50"`
+	P90       float64 `json:"p90"`
+	P99       float64 `json:"p99"`
+	Max       float64 `json:"max"`
+}
+
+// WriteNDJSON streams one spec's attribution summary as NDJSON: one
+// "total" row, one "cause" row per taxonomy bucket (enum order, zeros
+// kept), one "stall" row per account, one "offender" row per top-N
+// PC, and one "dist" row per distribution.
+func WriteNDJSON(w io.Writer, benchmark, label string, s Summary) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(ndjsonTotal{
+		Type: "total", Benchmark: benchmark, Label: label,
+		BTBMisses:           s.BTBMisses,
+		StallCycles:         s.StallCycles,
+		ShadowResidentShare: s.ShadowResidentShare,
+		HeadShare:           s.HeadShare,
+		TailShare:           s.TailShare,
+	}); err != nil {
+		return err
+	}
+	for _, c := range s.Causes {
+		if err := enc.Encode(ndjsonCause{
+			Type: "cause", Benchmark: benchmark, Label: label,
+			Cause: c.Cause, Count: c.Count, Share: c.Share,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, st := range s.Stalls {
+		if err := enc.Encode(ndjsonStall{
+			Type: "stall", Benchmark: benchmark, Label: label,
+			Kind: st.Kind, Count: st.Count, Share: st.Share,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, o := range s.TopOffenders {
+		if err := enc.Encode(ndjsonOffender{
+			Type: "offender", Benchmark: benchmark, Label: label,
+			PC: fmt.Sprintf("0x%x", o.PC), Count: o.Count, TopCause: o.TopCause,
+		}); err != nil {
+			return err
+		}
+	}
+	dists := []struct {
+		name string
+		d    DistSummary
+	}{
+		{"ftq_occupancy", s.FTQOccupancy},
+		{"sbd_valid_paths", s.SBDValidPaths},
+		{"sbb_lifetime", s.SBBLifetime},
+		{"resteer_distance", s.ResteerDistance},
+	}
+	for _, dd := range dists {
+		if err := enc.Encode(ndjsonDist{
+			Type: "dist", Benchmark: benchmark, Label: label, Name: dd.name,
+			Count: dd.d.Count, Mean: dd.d.Mean,
+			P50: dd.d.P50, P90: dd.d.P90, P99: dd.d.P99, Max: dd.d.Max,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

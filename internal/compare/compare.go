@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -32,6 +33,17 @@ type Options struct {
 	// must have before a sign flip counts (keeps ±0.01% noise from
 	// flagging). Default 1e-3.
 	FlipMin float64
+	// IVRTol is the relative tolerance applied to per-spec interval
+	// summaries (IPC mean, SBB coverage) from the envelopes' optional
+	// `intervals` section. Default 0.05.
+	IVRTol float64
+	// AttribTol is the absolute tolerance applied to attribution
+	// shares (BTB-miss cause shares, stall shares, shadow residency)
+	// from the envelopes' optional `attribution` section. Shares are
+	// fractions of the run's own totals, so an absolute bound compares
+	// mix shifts directly without the near-zero blowups a relative
+	// bound would hit on rare causes. Default 0.05 (five points).
+	AttribTol float64
 }
 
 // withDefaults fills unset tolerance fields.
@@ -44,6 +56,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FlipMin == 0 {
 		o.FlipMin = 1e-3
+	}
+	if o.IVRTol == 0 {
+		o.IVRTol = 0.05
+	}
+	if o.AttribTol == 0 {
+		o.AttribTol = 0.05
 	}
 	return o
 }
@@ -280,6 +298,136 @@ func diffReport(res *Result, base, head *experiments.Report, opt Options) {
 			res.Warnings = append(res.Warnings,
 				fmt.Sprintf("%s: row [%s] only in new results", id, key))
 		}
+	}
+	diffIntervals(res, base, head, opt)
+	diffAttribution(res, base, head, opt)
+}
+
+// specKey identifies one spec's envelope section entry the way table
+// rows are keyed: benchmark plus config label.
+func specKey(bench, label string) string {
+	if label == "" {
+		return bench
+	}
+	return bench + "/" + label
+}
+
+// diffIntervals compares the per-spec interval summaries carried in
+// the envelopes' optional `intervals` section (schema v2+): the
+// cycle-weighted IPC mean and the window-wide SBB coverage, each under
+// the (usually looser) IVRTol relative tolerance. Specs present in the
+// base but gone from the new set fail; additions — e.g. the new run
+// turned collection on — only warn. Reports without the section on
+// either side are skipped entirely, so v1 envelopes diff unchanged.
+func diffIntervals(res *Result, base, head *experiments.Report, opt Options) {
+	if len(base.Intervals) == 0 && len(head.Intervals) == 0 {
+		return
+	}
+	id := base.ID
+	newByKey := make(map[string]sim.SpecIntervals, len(head.Intervals))
+	for _, iv := range head.Intervals {
+		newByKey[specKey(iv.Benchmark, iv.Label)] = iv
+	}
+	seen := make(map[string]bool, len(base.Intervals))
+	for _, b := range base.Intervals {
+		key := specKey(b.Benchmark, b.Label)
+		seen[key] = true
+		h, ok := newByKey[key]
+		if !ok {
+			res.Mismatches = append(res.Mismatches,
+				fmt.Sprintf("%s: intervals for [%s] missing from new results", id, key))
+			continue
+		}
+		ivOpt := opt
+		ivOpt.RTol = opt.IVRTol
+		res.Compared += 2
+		checkCell(res, id, key,
+			stats.Column{Name: "intervals.ipc_mean", Unit: stats.UnitIPC},
+			b.Summary.IPCMean, h.Summary.IPCMean, ivOpt)
+		checkCell(res, id, key,
+			stats.Column{Name: "intervals.sbb_coverage"},
+			b.Summary.SBBCoverage, h.Summary.SBBCoverage, ivOpt)
+	}
+	for _, iv := range head.Intervals {
+		if key := specKey(iv.Benchmark, iv.Label); !seen[key] {
+			res.Warnings = append(res.Warnings,
+				fmt.Sprintf("%s: intervals for [%s] only in new results", id, key))
+		}
+	}
+}
+
+// diffAttribution compares the per-spec miss-attribution summaries in
+// the envelopes' optional `attribution` section (schema v3+). Every
+// cause share, stall share, and the headline shadow-residency share is
+// checked under the absolute AttribTol bound: attribution reports a
+// mix, so the question is "did any slice of the pie move more than N
+// points", independent of how rare the slice is. Missing specs fail;
+// additions warn; absent sections skip (older envelopes diff as
+// before).
+func diffAttribution(res *Result, base, head *experiments.Report, opt Options) {
+	if len(base.Attribution) == 0 && len(head.Attribution) == 0 {
+		return
+	}
+	id := base.ID
+	newByKey := make(map[string]sim.SpecAttribution, len(head.Attribution))
+	for _, at := range head.Attribution {
+		newByKey[specKey(at.Benchmark, at.Label)] = at
+	}
+	seen := make(map[string]bool, len(base.Attribution))
+	for _, b := range base.Attribution {
+		key := specKey(b.Benchmark, b.Label)
+		seen[key] = true
+		h, ok := newByKey[key]
+		if !ok {
+			res.Mismatches = append(res.Mismatches,
+				fmt.Sprintf("%s: attribution for [%s] missing from new results", id, key))
+			continue
+		}
+		checkShare(res, id, key, "attrib.shadow_resident_share",
+			b.Summary.ShadowResidentShare, h.Summary.ShadowResidentShare, opt)
+		newCause := make(map[string]float64, len(h.Summary.Causes))
+		for _, c := range h.Summary.Causes {
+			newCause[c.Cause] = c.Share
+		}
+		for _, c := range b.Summary.Causes {
+			nv, ok := newCause[c.Cause]
+			if !ok {
+				res.Mismatches = append(res.Mismatches,
+					fmt.Sprintf("%s: [%s] attribution cause %q missing from new results", id, key, c.Cause))
+				continue
+			}
+			checkShare(res, id, key, "attrib.cause."+c.Cause, c.Share, nv, opt)
+		}
+		newStall := make(map[string]float64, len(h.Summary.Stalls))
+		for _, s := range h.Summary.Stalls {
+			newStall[s.Kind] = s.Share
+		}
+		for _, s := range b.Summary.Stalls {
+			nv, ok := newStall[s.Kind]
+			if !ok {
+				res.Mismatches = append(res.Mismatches,
+					fmt.Sprintf("%s: [%s] attribution stall %q missing from new results", id, key, s.Kind))
+				continue
+			}
+			checkShare(res, id, key, "attrib.stall."+s.Kind, s.Share, nv, opt)
+		}
+	}
+	for _, at := range head.Attribution {
+		if key := specKey(at.Benchmark, at.Label); !seen[key] {
+			res.Warnings = append(res.Warnings,
+				fmt.Sprintf("%s: attribution for [%s] only in new results", id, key))
+		}
+	}
+}
+
+// checkShare applies the absolute AttribTol bound to one share pair.
+func checkShare(res *Result, id, key, name string, a, b float64, opt Options) {
+	res.Compared++
+	if math.Abs(b-a) > opt.AttribTol {
+		res.Findings = append(res.Findings, Finding{
+			Experiment: id, Row: key, Column: name, Unit: "share",
+			Old: a, New: b, Rel: rel(a, b),
+		})
 	}
 }
 

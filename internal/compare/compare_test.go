@@ -8,7 +8,10 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/attrib"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -218,5 +221,158 @@ func TestV2ReportDiffsAgainstV1Golden(t *testing.T) {
 	}
 	if res.Compared == 0 {
 		t.Error("nothing compared")
+	}
+}
+
+// mkIVReport attaches an intervals section to a base report.
+func mkIVReport(ipcMean, coverage float64) *experiments.Report {
+	r := mkReport("fig14", 2.4, 0.05)
+	r.Intervals = []sim.SpecIntervals{{
+		Benchmark: "voter", Label: "skia",
+		Summary: metrics.Summary{Every: 1000, Count: 3, IPCMean: ipcMean, SBBCoverage: coverage},
+	}}
+	return r
+}
+
+func TestIntervalSummaryDrift(t *testing.T) {
+	a := map[string]*experiments.Report{"fig14": mkIVReport(2.0, 0.60)}
+
+	// Within the default 5% relative tolerance: clean.
+	b := map[string]*experiments.Report{"fig14": mkIVReport(2.04, 0.61)}
+	if res := Diff(a, b, Options{}); res.Failed() {
+		t.Errorf("within-tolerance interval drift failed:\n%s", res)
+	}
+
+	// 10% IPC-mean drift against the default 5%: one finding naming
+	// the intervals column.
+	b = map[string]*experiments.Report{"fig14": mkIVReport(2.2, 0.60)}
+	res := Diff(a, b, Options{})
+	if !res.Failed() || len(res.Findings) != 1 {
+		t.Fatalf("IPC-mean drift not flagged:\n%s", res)
+	}
+	if res.Findings[0].Column != "intervals.ipc_mean" {
+		t.Errorf("Column = %q", res.Findings[0].Column)
+	}
+
+	// Coverage collapse is caught by the same bound.
+	b = map[string]*experiments.Report{"fig14": mkIVReport(2.0, 0.30)}
+	if res := Diff(a, b, Options{}); len(res.Findings) != 1 ||
+		res.Findings[0].Column != "intervals.sbb_coverage" {
+		t.Errorf("coverage drift not flagged:\n%s", res)
+	}
+
+	// A custom IVRTol loosens only the interval bound.
+	if res := Diff(a, b, Options{IVRTol: 0.6}); res.Failed() {
+		t.Errorf("IVRTol=0.6 still flagged 50%% coverage drift:\n%s", res)
+	}
+
+	// Section present in base, absent from new: a gating mismatch.
+	b = map[string]*experiments.Report{"fig14": mkReport("fig14", 2.4, 0.05)}
+	if res := Diff(a, b, Options{}); len(res.Mismatches) != 1 {
+		t.Errorf("dropped intervals section not a mismatch:\n%s", res)
+	}
+
+	// Section only in new: a note, not a failure.
+	if res := Diff(b, a, Options{}); res.Failed() || len(res.Warnings) != 1 {
+		t.Errorf("added intervals section should only warn:\n%s", res)
+	}
+}
+
+// mkAttribReport attaches an attribution section with a two-cause,
+// one-stall summary whose shares are the test's inputs.
+func mkAttribReport(sbbHit, notResident float64) *experiments.Report {
+	r := mkReport("fig14", 2.4, 0.05)
+	r.Attribution = []sim.SpecAttribution{{
+		Benchmark: "voter", Label: "skia",
+		Summary: attrib.Summary{
+			BTBMisses: 100, StallCycles: 50, ShadowResidentShare: sbbHit,
+			Causes: []attrib.CauseCount{
+				{Cause: "sbb-hit", Count: uint64(sbbHit * 100), Share: sbbHit},
+				{Cause: "not-resident", Count: uint64(notResident * 100), Share: notResident},
+			},
+			Stalls: []attrib.StallCount{{Kind: "ftq-empty", Count: 50, Share: 1}},
+		},
+	}}
+	return r
+}
+
+func TestAttributionShareDrift(t *testing.T) {
+	a := map[string]*experiments.Report{"fig14": mkAttribReport(0.70, 0.30)}
+
+	// Shares moved two points: inside the default five-point bound.
+	b := map[string]*experiments.Report{"fig14": mkAttribReport(0.72, 0.28)}
+	if res := Diff(a, b, Options{}); res.Failed() {
+		t.Errorf("two-point share drift failed:\n%s", res)
+	}
+
+	// Ten points is a mix shift: shadow_resident_share and both cause
+	// shares trip the absolute bound.
+	b = map[string]*experiments.Report{"fig14": mkAttribReport(0.60, 0.40)}
+	res := Diff(a, b, Options{})
+	if len(res.Findings) != 3 {
+		t.Fatalf("ten-point drift findings = %d:\n%s", len(res.Findings), res)
+	}
+	cols := map[string]bool{}
+	for _, f := range res.Findings {
+		cols[f.Column] = true
+		if f.Unit != "share" {
+			t.Errorf("%s: Unit = %q", f.Column, f.Unit)
+		}
+	}
+	for _, want := range []string{"attrib.shadow_resident_share", "attrib.cause.sbb-hit", "attrib.cause.not-resident"} {
+		if !cols[want] {
+			t.Errorf("missing finding for %s (got %v)", want, cols)
+		}
+	}
+
+	// The absolute bound is tunable independently of the table rtol.
+	if res := Diff(a, b, Options{AttribTol: 0.15}); res.Failed() {
+		t.Errorf("AttribTol=0.15 still flagged ten-point drift:\n%s", res)
+	}
+
+	// Attribution dropped entirely: mismatch. Added: warning only.
+	plain := map[string]*experiments.Report{"fig14": mkReport("fig14", 2.4, 0.05)}
+	if res := Diff(a, plain, Options{}); len(res.Mismatches) != 1 {
+		t.Errorf("dropped attribution section not a mismatch:\n%s", res)
+	}
+	if res := Diff(plain, a, Options{}); res.Failed() || len(res.Warnings) != 1 {
+		t.Errorf("added attribution section should only warn:\n%s", res)
+	}
+}
+
+// TestAttributionSectionsSurviveFileRoundTrip diffs attribution-bearing
+// reports through the same write/LoadPath path skiacmp uses, proving
+// the v3 envelope's optional sections reach the comparator from disk.
+func TestAttributionSectionsSurviveFileRoundTrip(t *testing.T) {
+	rep := mkAttribReport(0.70, 0.30)
+	rep.Intervals = mkIVReport(2.0, 0.6).Intervals
+	dir := writeDir(t, rep)
+	a, err := LoadPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := mkAttribReport(0.50, 0.50)
+	drifted.Intervals = mkIVReport(1.0, 0.6).Intervals
+	b, err := LoadPath(writeDir(t, drifted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self-diff through disk: clean.
+	if res := Diff(a, a, Options{}); res.Failed() {
+		t.Errorf("file round-trip self-diff failed:\n%s", res)
+	}
+	// Drifted copy: both sections report findings from the loaded form.
+	res := Diff(a, b, Options{})
+	var ivHit, atHit bool
+	for _, f := range res.Findings {
+		switch f.Column {
+		case "intervals.ipc_mean":
+			ivHit = true
+		case "attrib.shadow_resident_share":
+			atHit = true
+		}
+	}
+	if !ivHit || !atHit {
+		t.Errorf("loaded sections missing findings (iv=%v at=%v):\n%s", ivHit, atHit, res)
 	}
 }

@@ -69,6 +69,7 @@ type uWay struct {
 	valid   bool
 	retired bool
 	lru     uint64
+	bornAt  uint64 // Clock() cycle the entry was installed
 	e       UEntry
 }
 
@@ -77,7 +78,8 @@ type rWay struct {
 	valid   bool
 	retired bool
 	lru     uint64
-	offset  uint8 // byte offset of the return within its line
+	bornAt  uint64 // Clock() cycle the entry was installed
+	offset  uint8  // byte offset of the return within its line
 }
 
 // SBBStats counts buffer events.
@@ -106,10 +108,24 @@ type SBB struct {
 	stats SBBStats
 
 	// OnEvict, when non-nil, observes capacity evictions: isU selects
-	// the buffer and retired reports the victim's retired bit (a useful
-	// entry lost rather than a possibly-bogus one). Set by the
-	// front-end's tracer wiring; nil costs one comparison per eviction.
-	OnEvict func(isU, retired bool)
+	// the buffer, retired reports the victim's retired bit (a useful
+	// entry lost rather than a possibly-bogus one), and lifetime is the
+	// victim's age in Clock cycles (0 without a Clock). Set by the
+	// front-end's observability wiring; nil costs one comparison per
+	// eviction.
+	OnEvict func(isU, retired bool, lifetime uint64)
+
+	// Clock, when non-nil, timestamps inserts so evictions can report
+	// entry lifetimes. The SBB has no cycle counter of its own.
+	Clock func() uint64
+}
+
+// now returns the current Clock cycle, or 0 without a Clock.
+func (s *SBB) now() uint64 {
+	if s.Clock == nil {
+		return 0
+	}
+	return s.Clock()
 }
 
 // NewSBB builds a buffer from cfg.
@@ -296,13 +312,14 @@ func (s *SBB) insertU(sb ShadowBranch) {
 		}
 	}
 	w := victimU(s.uSets[set], s.cfg.RetiredFirstEviction)
+	now := s.now()
 	if s.uSets[set][w].valid {
 		s.stats.UEvictions++
 		if s.OnEvict != nil {
-			s.OnEvict(true, s.uSets[set][w].retired)
+			s.OnEvict(true, s.uSets[set][w].retired, now-s.uSets[set][w].bornAt)
 		}
 	}
-	s.uSets[set][w] = uWay{tag: tag, valid: true, lru: s.tick, e: e}
+	s.uSets[set][w] = uWay{tag: tag, valid: true, lru: s.tick, bornAt: now, e: e}
 	s.stats.UInserts++
 }
 
@@ -321,13 +338,14 @@ func (s *SBB) insertR(pc uint64) {
 		}
 	}
 	w := victimR(s.rSets[set], s.cfg.RetiredFirstEviction)
+	now := s.now()
 	if s.rSets[set][w].valid {
 		s.stats.REvictions++
 		if s.OnEvict != nil {
-			s.OnEvict(false, s.rSets[set][w].retired)
+			s.OnEvict(false, s.rSets[set][w].retired, now-s.rSets[set][w].bornAt)
 		}
 	}
-	s.rSets[set][w] = rWay{tag: tag, valid: true, lru: s.tick, offset: off}
+	s.rSets[set][w] = rWay{tag: tag, valid: true, lru: s.tick, bornAt: now, offset: off}
 	s.stats.RInserts++
 }
 
@@ -367,6 +385,38 @@ func (s *SBB) MarkRetired(pc uint64, class isa.Class) {
 			}
 		}
 	}
+}
+
+// Contains reports whether the SBB currently holds an entry for the
+// branch at pc of the given class, without perturbing LRU state or
+// hit/miss statistics. Observability probe only — the IAG path uses
+// LookupU/LookupR.
+func (s *SBB) Contains(pc uint64, class isa.Class) bool {
+	if class == isa.ClassReturn {
+		if len(s.rSets) == 0 {
+			return false
+		}
+		set, tag := s.rIndex(program.LineAddr(pc))
+		off := uint8(program.LineOffset(pc))
+		for w := range s.rSets[set] {
+			wy := &s.rSets[set][w]
+			if wy.valid && wy.tag == tag && wy.offset == off {
+				return true
+			}
+		}
+		return false
+	}
+	if len(s.uSets) == 0 {
+		return false
+	}
+	set, tag := s.uIndex(pc)
+	for w := range s.uSets[set] {
+		wy := &s.uSets[set][w]
+		if wy.valid && wy.tag == tag {
+			return true
+		}
+	}
+	return false
 }
 
 // Invalidate removes the entry at pc after it has been exposed as bogus

@@ -133,6 +133,13 @@ type SBD struct {
 	cfg   SBDConfig
 	stats SBDStats
 
+	// OnHeadPaths, when non-nil, observes the path-family count of each
+	// examined Head region (0 when no valid path exists), before the
+	// MaxValidPaths cap is applied. Feeds the attribution engine's
+	// valid-paths-per-line distribution; nil costs one comparison per
+	// region.
+	OnHeadPaths func(families int)
+
 	// scratch buffers reused across calls to avoid allocation in the
 	// simulator's hot loop.
 	lengths [program.LineSize]int
@@ -220,6 +227,9 @@ func (d *SBD) DecodeHead(line []byte, lineAddr uint64, entryOff int, dst []Shado
 				p += d.lengths[p]
 			}
 		}
+	}
+	if d.OnHeadPaths != nil {
+		d.OnHeadPaths(nFamilies)
 	}
 	if firstValid < 0 {
 		d.stats.HeadNoValidPath++

@@ -10,6 +10,7 @@ package cpu
 import (
 	"fmt"
 
+	"repro/internal/attrib"
 	"repro/internal/btb"
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -160,6 +161,14 @@ func (c *Core) AttachCollector(col *metrics.Collector) {
 
 // SetTracer attaches (or detaches, with nil) a front-end event tracer.
 func (c *Core) SetTracer(t metrics.Tracer) { c.fe.SetTracer(t) }
+
+// AttachAttribution attaches (or detaches, with nil) a miss-attribution
+// engine to the front-end. Attach after warmup (alongside ResetStats)
+// so the taxonomy covers the measurement window only.
+func (c *Core) AttachAttribution(e *attrib.Engine) { c.fe.SetAttribution(e) }
+
+// Attribution returns the attached engine (nil when disabled).
+func (c *Core) Attribution() *attrib.Engine { return c.fe.Attribution() }
 
 // Sample snapshots the cumulative counters the interval collector
 // differences: cycles, instructions, and the front-end and cache

@@ -39,6 +39,9 @@ type Options struct {
 	// this many retired instructions) on every run; per-spec summaries
 	// are embedded in the report envelope's `intervals` section.
 	Interval uint64
+	// Attrib enables miss attribution on every run; per-spec summaries
+	// are embedded in the report envelope's `attribution` section.
+	Attrib bool
 }
 
 func (o Options) benchmarks() []string {
@@ -52,6 +55,7 @@ func (o Options) runner() *sim.Runner {
 	r := sim.NewRunner()
 	r.Workers = o.Workers
 	r.Interval = o.Interval
+	r.Attrib = o.Attrib
 	return r
 }
 
@@ -74,6 +78,11 @@ type Report struct {
 	// nil otherwise. Serialized as the envelope's optional `intervals`
 	// section (schema v2).
 	Intervals []sim.SpecIntervals
+	// Attribution holds one miss-attribution summary per simulated
+	// spec when the run enabled it (Options.Attrib); nil otherwise.
+	// Serialized as the envelope's optional `attribution` section
+	// (schema v3).
+	Attribution []sim.SpecAttribution
 }
 
 // String renders the report.

@@ -19,7 +19,11 @@ import (
 //	2 — adds the optional `intervals` section (per-spec interval
 //	    metrics summaries). Purely additive: v1 reports decode as v2
 //	    reports with no intervals.
-const SchemaVersion = 2
+//	3 — adds the optional `attribution` section (per-spec BTB-miss
+//	    cause taxonomy, stall accounts, offenders, distributions).
+//	    Purely additive: v1/v2 reports decode as v3 reports with no
+//	    attribution.
+const SchemaVersion = 3
 
 // minSchemaVersion is the oldest envelope DecodeReport still reads.
 const minSchemaVersion = 1
@@ -87,6 +91,7 @@ func (o Options) stamp(rep *Report, r *sim.Runner, benches []string) *Report {
 			}
 		}
 		rep.Intervals = r.IntervalSummaries()
+		rep.Attribution = r.AttributionSummaries()
 	}
 	rep.Meta = m
 	return rep
@@ -96,13 +101,14 @@ func (o Options) stamp(rep *Report, r *sim.Runner, benches []string) *Report {
 // order in the emitted JSON; EXPERIMENTS.md ("Results schema")
 // documents it field by field.
 type reportJSON struct {
-	SchemaVersion int                 `json:"schema_version"`
-	ID            string              `json:"id"`
-	Title         string              `json:"title"`
-	Meta          RunMeta             `json:"meta"`
-	Table         *stats.Table        `json:"table"`
-	Notes         []string            `json:"notes,omitempty"`
-	Intervals     []sim.SpecIntervals `json:"intervals,omitempty"`
+	SchemaVersion int                   `json:"schema_version"`
+	ID            string                `json:"id"`
+	Title         string                `json:"title"`
+	Meta          RunMeta               `json:"meta"`
+	Table         *stats.Table          `json:"table"`
+	Notes         []string              `json:"notes,omitempty"`
+	Intervals     []sim.SpecIntervals   `json:"intervals,omitempty"`
+	Attribution   []sim.SpecAttribution `json:"attribution,omitempty"`
 }
 
 // MarshalJSON wraps the report in the versioned run-metadata envelope.
@@ -115,6 +121,7 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Table:         r.Table,
 		Notes:         r.Notes,
 		Intervals:     r.Intervals,
+		Attribution:   r.Attribution,
 	})
 }
 
@@ -135,7 +142,8 @@ func (r *Report) UnmarshalJSON(b []byte) error {
 	if j.Table == nil {
 		return fmt.Errorf("experiments: report %q has no table", j.ID)
 	}
-	*r = Report{ID: j.ID, Title: j.Title, Table: j.Table, Notes: j.Notes, Meta: j.Meta, Intervals: j.Intervals}
+	*r = Report{ID: j.ID, Title: j.Title, Table: j.Table, Notes: j.Notes, Meta: j.Meta,
+		Intervals: j.Intervals, Attribution: j.Attribution}
 	return nil
 }
 

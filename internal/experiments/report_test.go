@@ -170,7 +170,7 @@ func TestDocumentedExampleMatchesMarshaller(t *testing.T) {
 // TestReportDecodesV1AndUnknownFields pins the compatibility promise:
 // a schema-v1 envelope (no intervals, possibly carrying fields this
 // build has never heard of) still decodes, so old goldens keep
-// diffing against v2 reports.
+// diffing against v3 reports.
 func TestReportDecodesV1AndUnknownFields(t *testing.T) {
 	v1 := `{
   "schema_version": 1,
@@ -194,6 +194,85 @@ func TestReportDecodesV1AndUnknownFields(t *testing.T) {
 	}
 	if rep.Meta.WarmupInstructions != 100 {
 		t.Errorf("meta dropped: %+v", rep.Meta)
+	}
+}
+
+// TestReportDecodesV2 pins the v2 half of the promise: an intervals-
+// bearing v2 envelope decodes with its intervals intact and no
+// attribution section invented.
+func TestReportDecodesV2(t *testing.T) {
+	v2 := `{
+  "schema_version": 2,
+  "id": "fig15",
+  "title": "v2 report",
+  "meta": {},
+  "table": {"columns": [{"name": "benchmark"}], "rows": [[{"kind": "str", "text": "voter"}]]},
+  "intervals": [{"benchmark": "voter", "label": "skia", "summary": {"count": 3, "ipc_mean": 2.1}}]
+}`
+	rep, err := DecodeReport([]byte(v2))
+	if err != nil {
+		t.Fatalf("v2 envelope rejected: %v", err)
+	}
+	if len(rep.Intervals) != 1 || rep.Intervals[0].Summary.Count != 3 {
+		t.Errorf("v2 intervals mangled: %+v", rep.Intervals)
+	}
+	if rep.Attribution != nil {
+		t.Errorf("v2 report grew attribution: %+v", rep.Attribution)
+	}
+}
+
+// TestReportAttributionRoundTrip runs a harness with attribution on
+// and requires the per-spec summaries to survive the JSON trip, and
+// the section to stay absent entirely when disabled.
+func TestReportAttributionRoundTrip(t *testing.T) {
+	o := tinyOpts()
+	o.Attrib = true
+	rep, err := Fig14(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 benchmarks x 4 variants, sorted by benchmark then label.
+	if len(rep.Attribution) != 8 {
+		t.Fatalf("attribution summaries = %d, want 8", len(rep.Attribution))
+	}
+	for i := 1; i < len(rep.Attribution); i++ {
+		a, b := rep.Attribution[i-1], rep.Attribution[i]
+		if a.Benchmark > b.Benchmark || (a.Benchmark == b.Benchmark && a.Label > b.Label) {
+			t.Errorf("summaries unsorted at %d: %+v > %+v", i, a, b)
+		}
+	}
+	for _, s := range rep.Attribution {
+		var sum uint64
+		for _, c := range s.Summary.Causes {
+			sum += c.Count
+		}
+		if sum != s.Summary.BTBMisses {
+			t.Errorf("%s/%s: causes sum %d != total %d",
+				s.Benchmark, s.Label, sum, s.Summary.BTBMisses)
+		}
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Attribution, rep.Attribution) {
+		t.Errorf("attribution changed across round trip:\n%+v\n!=\n%+v", back.Attribution, rep.Attribution)
+	}
+	rep2, err := Fig15(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Attribution) != 0 {
+		t.Errorf("attribution stamped while disabled: %+v", rep2.Attribution)
+	}
+	if data, err := json.Marshal(rep2); err != nil {
+		t.Fatal(err)
+	} else if strings.Contains(string(data), `"attribution"`) {
+		t.Error("disabled report still emits an attribution key")
 	}
 }
 

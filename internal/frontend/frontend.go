@@ -3,6 +3,7 @@ package frontend
 import (
 	"fmt"
 
+	"repro/internal/attrib"
 	"repro/internal/btb"
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -75,6 +76,9 @@ type redirect struct {
 	pc      uint64
 	applyAt uint64
 	kind    redirectKind
+	// cause is the stall attribution charged to every decoder-idle
+	// cycle of this re-steer's repair window.
+	cause attrib.StallKind
 }
 
 type sbdTask struct {
@@ -122,6 +126,11 @@ type FrontEnd struct {
 	// events; every emission site nil-checks it so a disabled trace
 	// costs one comparison per event.
 	tr metrics.Tracer
+
+	// at, when non-nil, is the miss-attribution engine: it classifies
+	// every BTB miss into a cause and every decoder-idle cycle into a
+	// stall account. Same nil-check contract as tr.
+	at *attrib.Engine
 
 	stats Stats
 }
@@ -205,23 +214,59 @@ func (f *FrontEnd) SBD() *core.SBD { return f.sbd }
 // SBB's eviction hook is wired through to the same tracer.
 func (f *FrontEnd) SetTracer(t metrics.Tracer) {
 	f.tr = t
+	f.wireHooks()
+}
+
+// SetAttribution attaches (or, with nil, detaches) a miss-attribution
+// engine. The SBB's clock and eviction hooks and the SBD's head-path
+// hook are wired through to it.
+func (f *FrontEnd) SetAttribution(e *attrib.Engine) {
+	f.at = e
+	f.wireHooks()
+}
+
+// Attribution returns the attached engine (nil when disabled).
+func (f *FrontEnd) Attribution() *attrib.Engine { return f.at }
+
+// wireHooks (re)wires component callbacks to whichever of the tracer
+// and the attribution engine are attached. Both observers share the
+// single SBB eviction hook, so attaching one must not clobber the
+// other.
+func (f *FrontEnd) wireHooks() {
+	if f.sbd != nil {
+		if f.at != nil {
+			f.sbd.OnHeadPaths = f.at.NoteSBDPaths
+		} else {
+			f.sbd.OnHeadPaths = nil
+		}
+	}
 	if f.sbb == nil {
 		return
 	}
-	if t == nil {
+	if f.at != nil {
+		f.sbb.Clock = func() uint64 { return f.cycle }
+	} else {
+		f.sbb.Clock = nil
+	}
+	if f.tr == nil && f.at == nil {
 		f.sbb.OnEvict = nil
 		return
 	}
-	f.sbb.OnEvict = func(isU, retired bool) {
-		kind := metrics.EvSBBEvictR
-		if isU {
-			kind = metrics.EvSBBEvictU
+	f.sbb.OnEvict = func(isU, retired bool, lifetime uint64) {
+		if f.tr != nil {
+			kind := metrics.EvSBBEvictR
+			if isU {
+				kind = metrics.EvSBBEvictU
+			}
+			var arg uint64
+			if retired {
+				arg = 1
+			}
+			f.tr.Emit(metrics.Event{Cycle: f.cycle, Kind: kind, Arg: arg})
 		}
-		var arg uint64
-		if retired {
-			arg = 1
+		if f.at != nil {
+			f.at.NoteSBBLifetime(lifetime)
 		}
-		t.Emit(metrics.Event{Cycle: f.cycle, Kind: kind, Arg: arg})
 	}
 }
 
@@ -296,6 +341,11 @@ func (f *FrontEnd) Step(maxDecode int) int {
 	// 3. Decode: verify the predicted stream against the true stream.
 	n := f.decode(maxDecode)
 
+	// Sample end-of-cycle FTQ occupancy for the distribution stats.
+	if f.at != nil {
+		f.at.NoteCycle(f.q.Len())
+	}
+
 	// Safety valve: if the decoder has been starved for implausibly
 	// long (far beyond any miss or re-steer latency), force a resync to
 	// the true path rather than livelock. A triggered resync indicates
@@ -306,7 +356,7 @@ func (f *FrontEnd) Step(maxDecode int) int {
 			if st, ok := f.peek(); ok {
 				f.stats.ForcedResyncs++
 				f.emit(metrics.EvForcedResync, st.Inst.PC, 0)
-				f.scheduleRedirect(st.Inst.PC, redirectDecode)
+				f.scheduleRedirect(st.Inst.PC, redirectDecode, attrib.StallResteerOther)
 			}
 			f.idleStreak = 0
 		}
@@ -316,11 +366,15 @@ func (f *FrontEnd) Step(maxDecode int) int {
 	return n
 }
 
-// scheduleRedirect arranges a re-steer to pc. Decode-stage re-steers
-// flush immediately and stall the IAG for the repair window; execute-
-// stage re-steers leave the IAG running down the wrong path until the
+// scheduleRedirect arranges a re-steer to pc; cause labels the repair
+// window for stall attribution. Decode-stage re-steers flush
+// immediately and stall the IAG for the repair window; execute-stage
+// re-steers leave the IAG running down the wrong path until the
 // branch resolves.
-func (f *FrontEnd) scheduleRedirect(pc uint64, kind redirectKind) {
+func (f *FrontEnd) scheduleRedirect(pc uint64, kind redirectKind, cause attrib.StallKind) {
+	if f.at != nil {
+		f.at.NoteResteer(f.specPC, pc)
+	}
 	switch kind {
 	case redirectDecode:
 		f.stats.DecodeResteers++
@@ -333,11 +387,11 @@ func (f *FrontEnd) scheduleRedirect(pc uint64, kind redirectKind) {
 		f.tg.SyncSpec()
 		f.it.SyncSpec()
 		f.iagStallTill = f.cycle + uint64(f.cfg.DecodeResteerPenalty)
-		f.redir = &redirect{pc: pc, applyAt: f.cycle + uint64(f.cfg.DecodeResteerPenalty), kind: kind}
+		f.redir = &redirect{pc: pc, applyAt: f.cycle + uint64(f.cfg.DecodeResteerPenalty), kind: kind, cause: cause}
 	case redirectExec:
 		f.stats.ExecResteers++
 		f.emit(metrics.EvExecResteer, pc, 0)
-		f.redir = &redirect{pc: pc, applyAt: f.cycle + uint64(f.cfg.ExecResteerPenalty), kind: kind}
+		f.redir = &redirect{pc: pc, applyAt: f.cycle + uint64(f.cfg.ExecResteerPenalty), kind: kind, cause: cause}
 	}
 }
 
@@ -481,6 +535,23 @@ scan:
 		f.stats.Blocks++
 	}
 
+	// Record the block's shadow regions for attribution. This runs even
+	// without Skia (nil-checked), so baseline runs can report how many
+	// of their BTB misses sat in decodable shadow bytes — the paper's
+	// Figure 1/2 observation.
+	if f.at != nil {
+		if blk.EntryIsTarget {
+			if off := program.LineOffset(blk.Start); off > 0 {
+				f.at.NoteHead(program.LineAddr(blk.Start), off)
+			}
+		}
+		if blk.TakenPred {
+			if off := program.LineOffset(blk.End); off != 0 {
+				f.at.NoteTail(program.LineAddr(blk.End), off)
+			}
+		}
+	}
+
 	// Schedule shadow decodes (Skia): the Head region of a
 	// branch-target entry line and the Tail region after a taken exit.
 	if f.sbd != nil {
@@ -618,6 +689,9 @@ func (f *FrontEnd) runSBDTasks() {
 			} else {
 				_, resident := f.btb.Probe(sb.PC)
 				f.sbb.Insert(sb, resident)
+				if f.at != nil {
+					f.at.NoteSBBInsert(sb.PC)
+				}
 			}
 			f.stats.SBDInserts++
 			if f.tr != nil {
@@ -673,7 +747,10 @@ func lineResidency(blk *Block, pc uint64) bool {
 }
 
 // countBTBMiss records a taken branch the BTB failed to identify.
-func (f *FrontEnd) countBTBMiss(blk *Block, in isa.Inst) {
+// covered reports whether the SBB supplied the branch in time (the
+// block steered through it with matching class, so no re-steer was
+// paid); it feeds the attribution taxonomy.
+func (f *FrontEnd) countBTBMiss(blk *Block, in isa.Inst, covered bool) {
 	switch in.Class {
 	case isa.ClassDirectCond:
 		f.stats.BTBMissCond++
@@ -686,8 +763,13 @@ func (f *FrontEnd) countBTBMiss(blk *Block, in isa.Inst) {
 	case isa.ClassIndirect, isa.ClassIndirectCall:
 		f.stats.BTBMissIndirect++
 	}
-	if lineResidency(blk, in.PC) {
+	resident := lineResidency(blk, in.PC)
+	if resident {
 		f.stats.BTBMissL1IHit++
+	}
+	if f.at != nil {
+		inSBB := f.sbb != nil && f.sbb.Contains(in.PC, in.Class)
+		f.at.ClassifyMiss(in.PC, in.Class, covered, resident, inSBB)
 	}
 	f.emit(metrics.EvBTBMiss, in.PC, 0)
 }
@@ -705,13 +787,20 @@ func (f *FrontEnd) decode(max int) int {
 		max = f.cfg.DecodeWidth
 	}
 	delivered := 0
-	idle := func(resteer bool) {
+	// idle charges a starved cycle: once to the coarse resteer/fetch
+	// counters, and (with attribution) once to exactly one StallKind —
+	// this is the sole DecodeIdleCycles increment site, so the stall
+	// accounts sum to it by construction.
+	idle := func(kind attrib.StallKind) {
 		if delivered == 0 {
 			f.stats.DecodeIdleCycles++
-			if resteer {
+			if kind <= attrib.StallResteerOther {
 				f.stats.DecodeIdleResteerCycles++
 			} else {
 				f.stats.DecodeIdleFetchCycles++
+			}
+			if f.at != nil {
+				f.at.StallCycle(kind)
 			}
 		}
 	}
@@ -720,13 +809,17 @@ func (f *FrontEnd) decode(max int) int {
 			return delivered
 		}
 		if f.redir != nil {
-			idle(true)
+			idle(f.redir.cause)
 			return delivered
 		}
 		if f.cur == nil {
 			head, ok := f.q.Peek()
-			if !ok || head.ReadyAt > f.cycle {
-				idle(false)
+			if !ok {
+				idle(attrib.StallFTQEmpty)
+				return delivered
+			}
+			if head.ReadyAt > f.cycle {
+				idle(fetchStall(&head))
 				return delivered
 			}
 			blk, _ := f.q.Pop()
@@ -794,13 +887,27 @@ func (f *FrontEnd) decode(max int) int {
 	return delivered
 }
 
+// fetchStall attributes a not-ready FTQ head block: waiting on a line
+// fill if any covered line missed the L1-I, otherwise riding the fixed
+// fetch pipeline.
+func fetchStall(blk *Block) attrib.StallKind {
+	for _, lf := range blk.Lines {
+		if !lf.WasResident {
+			return attrib.StallICacheMiss
+		}
+	}
+	return attrib.StallFetchLatency
+}
+
 // phantom handles a predicted-taken terminator that does not exist on
 // the true path: a BTB alias or a bogus SBB entry. Decode detects it
 // and re-steers to truePC, the sequential continuation.
 func (f *FrontEnd) phantom(truePC uint64) {
 	f.stats.PhantomBranches++
 	f.emit(metrics.EvPhantom, f.cur.BranchPC, truePC)
+	cause := attrib.StallResteerOther // BTB alias exposed as a phantom
 	if f.cur.ViaSBB {
+		cause = attrib.StallResteerBogusSBB
 		f.stats.BogusSBBUsed++
 		if f.sbb != nil {
 			f.sbb.Invalidate(f.cur.BranchPC)
@@ -809,7 +916,7 @@ func (f *FrontEnd) phantom(truePC uint64) {
 		f.btb.Invalidate(f.cur.BranchPC)
 	}
 	f.cur = nil
-	f.scheduleRedirect(truePC, redirectDecode)
+	f.scheduleRedirect(truePC, redirectDecode, cause)
 }
 
 // verifyTerminator checks the true outcome of the block's predicted
@@ -826,7 +933,9 @@ func (f *FrontEnd) verifyTerminator(st emu.Step) {
 	if in.Class != blk.Class {
 		f.stats.PhantomBranches++
 		f.emit(metrics.EvPhantom, blk.BranchPC, in.PC)
+		cause := attrib.StallResteerOther // BTB alias gave the wrong class
 		if blk.ViaSBB {
+			cause = attrib.StallResteerBogusSBB
 			f.stats.BogusSBBUsed++
 			if f.sbb != nil {
 				f.sbb.Invalidate(blk.BranchPC)
@@ -836,17 +945,17 @@ func (f *FrontEnd) verifyTerminator(st emu.Step) {
 		}
 		f.cur = nil
 		if st.Taken {
-			f.countBTBMiss(blk, in)
+			f.countBTBMiss(blk, in, false)
 			f.insertBTB(in, st.NextPC)
 			switch in.Class {
 			case isa.ClassIndirect, isa.ClassIndirectCall:
-				f.scheduleRedirect(st.NextPC, redirectExec)
+				f.scheduleRedirect(st.NextPC, redirectExec, cause)
 			case isa.ClassDirectCond:
 				pred := f.tg.Predict(in.PC)
 				f.tg.Update(in.PC, pred, true)
-				f.scheduleRedirect(st.NextPC, redirectDecode)
+				f.scheduleRedirect(st.NextPC, redirectDecode, cause)
 			default:
-				f.scheduleRedirect(st.NextPC, redirectDecode)
+				f.scheduleRedirect(st.NextPC, redirectDecode, cause)
 			}
 			return
 		}
@@ -854,7 +963,7 @@ func (f *FrontEnd) verifyTerminator(st emu.Step) {
 			pred := f.tg.Predict(in.PC)
 			f.tg.Update(in.PC, pred, false)
 		}
-		f.scheduleRedirect(st.NextPC, redirectDecode)
+		f.scheduleRedirect(st.NextPC, redirectDecode, cause)
 		return
 	}
 
@@ -867,7 +976,7 @@ func (f *FrontEnd) verifyTerminator(st emu.Step) {
 			// misprediction resolved at execute.
 			f.stats.CondMispredicts++
 			f.cur = nil
-			f.scheduleRedirect(st.NextPC, redirectExec)
+			f.scheduleRedirect(st.NextPC, redirectExec, attrib.StallResteerMispredict)
 			return
 		}
 	case isa.ClassIndirect, isa.ClassIndirectCall:
@@ -876,7 +985,7 @@ func (f *FrontEnd) verifyTerminator(st emu.Step) {
 
 	// Record SBB coverage and BTB miss bookkeeping.
 	if blk.ViaSBB {
-		f.countBTBMiss(blk, in)
+		f.countBTBMiss(blk, in, true)
 		if in.Class == isa.ClassReturn {
 			f.stats.SBBCoveredR++
 		} else {
@@ -903,15 +1012,15 @@ func (f *FrontEnd) verifyTerminator(st emu.Step) {
 		// it early and refreshes the stale entry.
 		f.stats.StaleBTBTarget++
 		f.insertBTB(in, st.NextPC)
-		f.scheduleRedirect(st.NextPC, redirectDecode)
+		f.scheduleRedirect(st.NextPC, redirectDecode, attrib.StallResteerOther)
 	case isa.ClassReturn:
 		f.stats.ReturnMispredicts++
 		f.emit(metrics.EvReturnMispredict, in.PC, st.NextPC)
-		f.scheduleRedirect(st.NextPC, redirectExec)
+		f.scheduleRedirect(st.NextPC, redirectExec, attrib.StallResteerMispredict)
 	case isa.ClassIndirect, isa.ClassIndirectCall:
 		f.stats.IndirectMispredicts++
 		f.insertBTB(in, st.NextPC)
-		f.scheduleRedirect(st.NextPC, redirectExec)
+		f.scheduleRedirect(st.NextPC, redirectExec, attrib.StallResteerMispredict)
 	}
 }
 
@@ -930,7 +1039,7 @@ func (f *FrontEnd) verifyMidBlock(st emu.Step) {
 				// direction misprediction, resolved at execute.
 				f.stats.CondMispredicts++
 				f.cur = nil
-				f.scheduleRedirect(st.NextPC, redirectExec)
+				f.scheduleRedirect(st.NextPC, redirectExec, attrib.StallResteerMispredict)
 				return
 			}
 			f.advanceWithin(st)
@@ -944,31 +1053,33 @@ func (f *FrontEnd) verifyMidBlock(st emu.Step) {
 	}
 
 	// A taken branch the IAG did not identify at all: the BTB (and SBB,
-	// if present) missed it. This is the event Skia attacks.
-	f.countBTBMiss(blk, in)
+	// if present) missed it. This is the event Skia attacks. The repair
+	// window is charged to the BTB miss even when a late direction or
+	// target lookup also went wrong — absent identification is the root.
+	f.countBTBMiss(blk, in, false)
 	f.insertBTB(in, st.NextPC) // decode fills the BTB
 	f.cur = nil
 	switch in.Class {
 	case isa.ClassDirectUncond, isa.ClassCall:
 		// Target computable at decode: early re-steer.
-		f.scheduleRedirect(st.NextPC, redirectDecode)
+		f.scheduleRedirect(st.NextPC, redirectDecode, attrib.StallResteerBTBMiss)
 	case isa.ClassReturn:
 		// Decode sees the return and consults the RAS; model the
 		// common case of a correct RAS repair as an early re-steer.
-		f.scheduleRedirect(st.NextPC, redirectDecode)
+		f.scheduleRedirect(st.NextPC, redirectDecode, attrib.StallResteerBTBMiss)
 	case isa.ClassDirectCond:
 		// Decode discovers the conditional and asks TAGE late.
 		pred := f.tg.Predict(in.PC)
 		f.tg.Update(in.PC, pred, true)
 		if pred.Taken {
-			f.scheduleRedirect(st.NextPC, redirectDecode)
+			f.scheduleRedirect(st.NextPC, redirectDecode, attrib.StallResteerBTBMiss)
 		} else {
 			f.stats.CondMispredicts++
-			f.scheduleRedirect(st.NextPC, redirectExec)
+			f.scheduleRedirect(st.NextPC, redirectExec, attrib.StallResteerBTBMiss)
 		}
 	case isa.ClassIndirect, isa.ClassIndirectCall:
 		// Target needs execution.
-		f.scheduleRedirect(st.NextPC, redirectExec)
+		f.scheduleRedirect(st.NextPC, redirectExec, attrib.StallResteerBTBMiss)
 	}
 }
 

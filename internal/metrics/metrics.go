@@ -241,6 +241,11 @@ type Summary struct {
 	// BTBMissMPKIMax is the worst interval's BTB-miss MPKI (burst
 	// detector).
 	BTBMissMPKIMax float64 `json:"btb_miss_mpki_max"`
+	// SBBCoverage is the window-wide SBB coverage: total covered misses
+	// over total BTB misses (0 when the window had none). Computed from
+	// the summed raw deltas, not averaged per-interval rates, so it
+	// matches the run's aggregate coverage.
+	SBBCoverage float64 `json:"sbb_coverage"`
 }
 
 // Summarize digests interval rows into a Summary.
@@ -252,9 +257,12 @@ func Summarize(every uint64, ivs []Interval) Summary {
 	s.IPCMin = ivs[0].IPC
 	s.IPCFirst = ivs[0].IPC
 	s.IPCLast = ivs[len(ivs)-1].IPC
+	var misses, covered uint64
 	for _, iv := range ivs {
 		s.Instructions += iv.Instructions
 		s.Cycles += iv.Cycles
+		misses += iv.BTBMisses
+		covered += iv.SBBCovered
 		if iv.IPC < s.IPCMin {
 			s.IPCMin = iv.IPC
 		}
@@ -267,6 +275,9 @@ func Summarize(every uint64, ivs []Interval) Summary {
 	}
 	if s.Cycles > 0 {
 		s.IPCMean = float64(s.Instructions) / float64(s.Cycles)
+	}
+	if misses > 0 {
+		s.SBBCoverage = float64(covered) / float64(misses)
 	}
 	return s
 }

@@ -155,6 +155,19 @@ func (t *RingTracer) Events() []Event {
 	return out
 }
 
+// WriteChromeTrace exports the ring's retained events with capture
+// provenance in the trace metadata: total events emitted, events
+// dropped to wraparound, and the ring capacity. A truncated trace is
+// thereby self-identifying — consumers can check events_dropped
+// instead of silently analyzing a partial window.
+func (t *RingTracer) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTraceMeta(w, t.Events(), map[string]any{
+		"events_total":   t.Total(),
+		"events_dropped": t.Dropped(),
+		"ring_capacity":  cap(t.buf),
+	})
+}
+
 // chromeEvent is one entry of the Chrome trace_event format
 // (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
 // ph "M" rows are metadata naming processes/threads, ph "i" rows are
@@ -169,10 +182,13 @@ type chromeEvent struct {
 	Args  map[string]any `json:"args,omitempty"`
 }
 
-// chromeTrace is the JSON-object form of the trace file.
+// chromeTrace is the JSON-object form of the trace file. Metadata, when
+// present, records capture provenance (event totals, ring capacity,
+// drop counts) so a truncated trace is self-identifying.
 type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
 }
 
 // WriteChromeTrace exports events as Chrome trace_event JSON: one
@@ -180,7 +196,17 @@ type chromeTrace struct {
 // recording, timestamped in simulated cycles (1 cycle = 1 µs of trace
 // time, so Perfetto's zoom and duration readouts count cycles).
 func WriteChromeTrace(w io.Writer, events []Event) error {
+	return WriteChromeTraceMeta(w, events, nil)
+}
+
+// WriteChromeTraceMeta is WriteChromeTrace with a metadata block
+// attached to the trace object (nil or empty meta omits it). Chrome
+// and Perfetto ignore unknown metadata, so any provenance fits.
+func WriteChromeTraceMeta(w io.Writer, events []Event, meta map[string]any) error {
 	out := chromeTrace{DisplayTimeUnit: "ms"}
+	if len(meta) > 0 {
+		out.Metadata = meta
+	}
 	out.TraceEvents = append(out.TraceEvents, chromeEvent{
 		Name: "process_name", Phase: "M", PID: 1,
 		Args: map[string]any{"name": "skia-frontend"},

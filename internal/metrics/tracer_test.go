@@ -118,3 +118,64 @@ func TestWriteChromeTrace(t *testing.T) {
 		}
 	}
 }
+
+// TestRingTracerChromeTraceMetadata exercises the wrap path end to
+// end: overflow a tiny ring, export it, and require the metadata block
+// to report the drop count so the truncated trace is self-identifying.
+func TestRingTracerChromeTraceMetadata(t *testing.T) {
+	tr := NewRingTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Cycle: uint64(i), Kind: EvBTBMiss, PC: uint64(0x1000 + i)})
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var top struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Metadata    map[string]any   `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if top.Metadata == nil {
+		t.Fatal("no metadata block")
+	}
+	if got := top.Metadata["events_total"]; got != float64(10) {
+		t.Errorf("events_total = %v, want 10", got)
+	}
+	if got := top.Metadata["events_dropped"]; got != float64(6) {
+		t.Errorf("events_dropped = %v, want 6", got)
+	}
+	if got := top.Metadata["ring_capacity"]; got != float64(4) {
+		t.Errorf("ring_capacity = %v, want 4", got)
+	}
+	var instants int
+	for _, e := range top.TraceEvents {
+		if e["ph"] == "i" {
+			instants++
+		}
+	}
+	if instants != 4 {
+		t.Errorf("retained instants = %d, want 4 (ring capacity)", instants)
+	}
+}
+
+// TestWriteChromeTraceNoMetadataByDefault pins the plain writer's
+// output shape: no metadata key unless provided.
+func TestWriteChromeTraceNoMetadataByDefault(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []Event{{Kind: EvBTBMiss}}); err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := top["metadata"]; ok {
+		t.Error("metadata emitted without being provided")
+	}
+}

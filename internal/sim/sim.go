@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/attrib"
 	"repro/internal/btb"
 	"repro/internal/cpu"
 	"repro/internal/metrics"
@@ -47,6 +48,10 @@ type RunSpec struct {
 	// measurement window. Each spec needs its own tracer: cores are
 	// not safe for concurrent use and RunAll runs specs in parallel.
 	Tracer metrics.Tracer
+	// Attrib enables miss attribution over the measurement window (the
+	// Runner's Attrib flag enables it for every spec). Each run gets a
+	// private attrib.Engine, so RunAll stays race-free.
+	Attrib bool
 }
 
 // Result pairs a cpu.Result with its spec label.
@@ -56,6 +61,9 @@ type Result struct {
 	// Intervals holds the per-interval timeseries rows when the spec
 	// (or runner) enabled interval collection; nil otherwise.
 	Intervals []metrics.Interval
+	// Attribution holds the miss-attribution summary when the spec (or
+	// runner) enabled it; nil otherwise.
+	Attribution *attrib.Summary
 }
 
 // SpecIntervals pairs one spec's interval summary with its identity,
@@ -64,6 +72,14 @@ type SpecIntervals struct {
 	Benchmark string          `json:"benchmark"`
 	Label     string          `json:"label,omitempty"`
 	Summary   metrics.Summary `json:"summary"`
+}
+
+// SpecAttribution pairs one spec's miss-attribution summary with its
+// identity, for embedding in report envelopes (schema v3+).
+type SpecAttribution struct {
+	Benchmark string         `json:"benchmark"`
+	Label     string         `json:"label,omitempty"`
+	Summary   attrib.Summary `json:"summary"`
 }
 
 // SpecTiming records the wall time and instruction volume of one
@@ -107,12 +123,16 @@ type Runner struct {
 	// whose spec leaves RunSpec.Interval at zero — the switch the
 	// experiment harnesses flip from Options without touching specs.
 	Interval uint64
+	// Attrib enables miss attribution on every Run; specs can also opt
+	// in individually via RunSpec.Attrib.
+	Attrib bool
 
 	// All capture below is guarded by mu: Run is called from RunAll's
 	// worker goroutines, and each run's collector lives privately in
 	// its Run call until record() books the summary.
 	timings      []SpecTiming
 	intervalSums []SpecIntervals
+	attribSums   []SpecAttribution
 	totalInsts   uint64
 	cpuSeconds   float64
 	firstStart   time.Time
@@ -145,8 +165,9 @@ func (r *Runner) Workload(name string) (*workload.Workload, error) {
 }
 
 // record books one successful simulation into the runner's timing
-// counters, together with its interval summary when a collector ran.
-func (r *Runner) record(spec RunSpec, insts uint64, start, end time.Time, col *metrics.Collector) {
+// counters, together with its interval summary when a collector ran
+// and its attribution summary when an engine was attached.
+func (r *Runner) record(spec RunSpec, insts uint64, start, end time.Time, col *metrics.Collector, at *attrib.Summary) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.timings = append(r.timings, SpecTiming{
@@ -160,6 +181,13 @@ func (r *Runner) record(spec RunSpec, insts uint64, start, end time.Time, col *m
 			Benchmark: spec.Benchmark,
 			Label:     spec.Label,
 			Summary:   col.Summary(),
+		})
+	}
+	if at != nil {
+		r.attribSums = append(r.attribSums, SpecAttribution{
+			Benchmark: spec.Benchmark,
+			Label:     spec.Label,
+			Summary:   *at,
 		})
 	}
 	r.totalInsts += insts
@@ -239,6 +267,11 @@ func (r *Runner) Run(spec RunSpec) (Result, error) {
 	if spec.Tracer != nil {
 		c.SetTracer(spec.Tracer)
 	}
+	var eng *attrib.Engine
+	if spec.Attrib || r.Attrib {
+		eng = attrib.NewEngine()
+		c.AttachAttribution(eng)
+	}
 	c.Run(meas)
 	if err := c.Frontend().Err(); err != nil {
 		return Result{}, fmt.Errorf("sim: %s: %w", spec.Benchmark, err)
@@ -253,7 +286,13 @@ func (r *Runner) Run(spec RunSpec) (Result, error) {
 		col.Finish(c.Sample())
 		out.Intervals = col.Intervals()
 	}
-	r.record(spec, warm+meas, start, time.Now(), col)
+	var atSum *attrib.Summary
+	if eng != nil {
+		s := eng.Summary()
+		atSum = &s
+		out.Attribution = atSum
+	}
+	r.record(spec, warm+meas, start, time.Now(), col, atSum)
 	return out, nil
 }
 
@@ -263,6 +302,22 @@ func (r *Runner) IntervalSummaries() []SpecIntervals {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := append([]SpecIntervals(nil), r.intervalSums...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Benchmark != out[j].Benchmark {
+			return out[i].Benchmark < out[j].Benchmark
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// AttributionSummaries returns one attribution summary per
+// attribution-enabled run so far, sorted by benchmark then label
+// (matching Stats().Specs order).
+func (r *Runner) AttributionSummaries() []SpecAttribution {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]SpecAttribution(nil), r.attribSums...)
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Benchmark != out[j].Benchmark {
 			return out[i].Benchmark < out[j].Benchmark

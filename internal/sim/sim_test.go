@@ -399,3 +399,81 @@ func TestRunAllCollectorsRaceFree(t *testing.T) {
 		t.Errorf("timings = %d, want %d", got, len(specs))
 	}
 }
+
+// TestAttributionConservation pins the attribution engine's two
+// conservation laws end to end: every BTB miss lands in exactly one
+// cause bucket (counts sum to the front-end's miss total) and every
+// decoder-idle cycle lands in exactly one stall account (counts sum
+// to DecodeIdleCycles).
+func TestAttributionConservation(t *testing.T) {
+	for _, skia := range []bool{false, true} {
+		label := "base"
+		if skia {
+			label = "skia"
+		}
+		r := NewRunner()
+		spec := quickSpec(label, skia)
+		spec.Attrib = true
+		res, err := r.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := res.Attribution
+		if at == nil {
+			t.Fatalf("%s: Attrib spec returned nil Attribution", label)
+		}
+		var causeSum uint64
+		for _, c := range at.Causes {
+			causeSum += c.Count
+		}
+		if causeSum != at.BTBMisses {
+			t.Errorf("%s: cause counts sum to %d, want %d", label, causeSum, at.BTBMisses)
+		}
+		if at.BTBMisses != res.FE.BTBMissTotal() {
+			t.Errorf("%s: attribution saw %d misses, front-end counted %d",
+				label, at.BTBMisses, res.FE.BTBMissTotal())
+		}
+		var stallSum uint64
+		for _, s := range at.Stalls {
+			stallSum += s.Count
+		}
+		if stallSum != at.StallCycles {
+			t.Errorf("%s: stall counts sum to %d, want %d", label, stallSum, at.StallCycles)
+		}
+		if at.StallCycles != res.FE.DecodeIdleCycles {
+			t.Errorf("%s: attribution saw %d stall cycles, front-end counted %d",
+				label, at.StallCycles, res.FE.DecodeIdleCycles)
+		}
+		if skia {
+			var sbbHit uint64
+			for _, c := range at.Causes {
+				if c.Cause == "sbb-hit" {
+					sbbHit = c.Count
+				}
+			}
+			if sbbHit != res.FE.SBBCoveredTotal() {
+				t.Errorf("skia: sbb-hit cause = %d, SBBCoveredTotal = %d",
+					sbbHit, res.FE.SBBCoveredTotal())
+			}
+		}
+		if got := len(r.AttributionSummaries()); got != 1 {
+			t.Errorf("%s: AttributionSummaries = %d entries, want 1", label, got)
+		}
+	}
+}
+
+// TestAttributionDisabledByDefault guards the nil-checked fast path:
+// no engine, no summary.
+func TestAttributionDisabledByDefault(t *testing.T) {
+	r := NewRunner()
+	res, err := r.Run(quickSpec("plain", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attribution != nil {
+		t.Error("Attribution non-nil without Attrib")
+	}
+	if len(r.AttributionSummaries()) != 0 {
+		t.Error("runner recorded attribution without Attrib")
+	}
+}

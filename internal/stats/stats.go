@@ -398,41 +398,154 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Histogram tracks a distribution of integer samples for diagnostics
-// such as branch re-reference distances.
+// histSubBuckets is the linear sub-division of each power-of-two
+// bucket. 32 sub-buckets bound the relative quantile error of a
+// positive sample by half a sub-bucket width: 1/64 ≈ 1.6% (see
+// HistogramMaxRelError).
+const histSubBuckets = 32
+
+// HistogramMaxRelError bounds the relative error of Quantile for
+// positive samples: each log2 bucket is split into histSubBuckets
+// linear sub-buckets and a sample is reported as its sub-bucket
+// midpoint, so the error is at most half a sub-bucket width relative
+// to the bucket's lower bound.
+const HistogramMaxRelError = 1.0 / (2 * histSubBuckets)
+
+// Histogram tracks a sample distribution in streaming log2-bucket
+// storage: O(1) per Observe and memory bounded by the value range
+// (one counter per occupied log-linear bucket), never by the sample
+// count. Mean, Count, and the extreme quantiles (q<=0, q>=1) are
+// exact; interior quantiles of positive samples are accurate to
+// HistogramMaxRelError. Non-positive samples share a single bucket
+// represented by their running mean (the diagnostics this backs —
+// distances, occupancies, lifetimes — are non-negative). The zero
+// value is ready to use.
 type Histogram struct {
-	samples []float64
+	count    uint64
+	sum      float64
+	min, max float64
+	// buckets maps exp*histSubBuckets+sub -> count for positive
+	// samples, where v = frac*2^exp (math.Frexp) and sub linearly
+	// sub-divides frac's [0.5, 1) range.
+	buckets map[int]uint64
+	// nonPos counts samples <= 0; nonPosSum tracks their mean.
+	nonPos    uint64
+	nonPosSum float64
+}
+
+// bucketKey maps a positive sample to its log-linear bucket key.
+func bucketKey(v float64) int {
+	frac, exp := math.Frexp(v) // frac in [0.5, 1)
+	sub := int((frac - 0.5) * (2 * histSubBuckets))
+	if sub >= histSubBuckets {
+		sub = histSubBuckets - 1
+	}
+	return exp*histSubBuckets + sub
+}
+
+// bucketMid returns the representative (midpoint) value of a key.
+func bucketMid(key int) float64 {
+	exp := key / histSubBuckets
+	sub := key % histSubBuckets
+	if sub < 0 { // Go rounds toward zero; normalize negative exps
+		exp--
+		sub += histSubBuckets
+	}
+	frac := 0.5 + (float64(sub)+0.5)/(2*histSubBuckets)
+	return math.Ldexp(frac, exp)
 }
 
 // Observe records one sample.
-func (h *Histogram) Observe(v float64) { h.samples = append(h.samples, v) }
-
-// Count returns the number of samples.
-func (h *Histogram) Count() int { return len(h.samples) }
-
-// Quantile returns the q-th quantile (0 <= q <= 1) of the observed
-// samples, 0 if empty.
-func (h *Histogram) Quantile(q float64) float64 {
-	if len(h.samples) == 0 {
-		return 0
+func (h *Histogram) Observe(v float64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
 	}
-	sorted := make([]float64, len(h.samples))
-	copy(sorted, h.samples)
-	sort.Float64s(sorted)
-	if q <= 0 {
-		return sorted[0]
+	if h.count == 0 || v > h.max {
+		h.max = v
 	}
-	if q >= 1 {
-		return sorted[len(sorted)-1]
+	h.count++
+	h.sum += v
+	if v <= 0 {
+		h.nonPos++
+		h.nonPosSum += v
+		return
 	}
-	idx := q * float64(len(sorted)-1)
-	lo := int(idx)
-	frac := idx - float64(lo)
-	if lo+1 >= len(sorted) {
-		return sorted[lo]
+	if h.buckets == nil {
+		h.buckets = make(map[int]uint64)
 	}
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	h.buckets[bucketKey(v)]++
 }
 
-// Mean returns the arithmetic mean of observed samples.
-func (h *Histogram) Mean() float64 { return Mean(h.samples) }
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return int(h.count) }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the observed
+// samples, 0 if empty. Endpoints are exact; interior quantiles of
+// positive samples carry at most HistogramMaxRelError relative error.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	// Rank of the requested quantile, matching the sorted-sample
+	// definition idx = q*(n-1) rounded to the containing sample.
+	rank := uint64(q * float64(h.count-1))
+	var seen uint64
+	// The non-positive bucket sorts before every positive bucket.
+	if h.nonPos > 0 {
+		seen += h.nonPos
+		if rank < seen {
+			return h.nonPosSum / float64(h.nonPos)
+		}
+	}
+	keys := make([]int, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		seen += h.buckets[k]
+		if rank < seen {
+			v := bucketMid(k)
+			// Clamp to the observed range so endpoint buckets cannot
+			// report values outside [min, max].
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Mean returns the exact arithmetic mean of observed samples.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max return the exact observed extremes (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the exact maximum observed sample (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}

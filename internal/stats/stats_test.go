@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -201,6 +202,89 @@ func TestHistogram(t *testing.T) {
 		t.Errorf("median = %v", q)
 	}
 	if m := h.Mean(); !almostEqual(m, 50.5) {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+// TestHistogramAccuracyBound pins the streaming storage's contract:
+// against an exact sorted-sample reference, every interior quantile of
+// positive samples errs by at most HistogramMaxRelError (relative),
+// endpoints and the mean are exact, and memory stays bounded by the
+// value range rather than the sample count.
+func TestHistogramAccuracyBound(t *testing.T) {
+	var h Histogram
+	// Log-spread samples over six orders of magnitude, deterministic.
+	var exact []float64
+	x := uint64(12345)
+	for i := 0; i < 50_000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407 // LCG
+		v := math.Exp(float64(x%1_000_000)/1_000_000*13.8) * 0.01
+		exact = append(exact, v)
+		h.Observe(v)
+	}
+	sorted := append([]float64(nil), exact...)
+	sort.Float64s(sorted)
+	quantAt := func(q float64) float64 {
+		idx := q * float64(len(sorted)-1)
+		lo := int(idx)
+		frac := idx - float64(lo)
+		if lo+1 >= len(sorted) {
+			return sorted[lo]
+		}
+		return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	}
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+		want := quantAt(q)
+		got := h.Quantile(q)
+		if rel := math.Abs(got-want) / want; rel > HistogramMaxRelError+1e-9 {
+			t.Errorf("q=%v: got %v want %v (rel err %.4f > bound %.4f)",
+				q, got, want, rel, HistogramMaxRelError)
+		}
+	}
+	if got := h.Quantile(0); got != sorted[0] {
+		t.Errorf("q0 = %v, want exact min %v", got, sorted[0])
+	}
+	if got := h.Quantile(1); got != sorted[len(sorted)-1] {
+		t.Errorf("q1 = %v, want exact max %v", got, sorted[len(sorted)-1])
+	}
+	var sum float64
+	for _, v := range exact {
+		sum += v
+	}
+	if mean := h.Mean(); math.Abs(mean-sum/float64(len(exact)))/mean > 1e-12 {
+		t.Errorf("mean = %v, want exact %v", mean, sum/float64(len(exact)))
+	}
+	// Streaming storage: bucket count is bounded by the value range
+	// (orders of magnitude x sub-buckets), not the 50k samples.
+	if n := len(h.buckets); n > 24*histSubBuckets {
+		t.Errorf("bucket count %d not bounded by value range", n)
+	}
+	if h.Min() != sorted[0] || h.Max() != sorted[len(sorted)-1] {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+// TestHistogramNonPositive covers the shared bucket for samples <= 0.
+func TestHistogramNonPositive(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{-4, 0, -2, 10, 20} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0); q != -4 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := h.Quantile(1); q != 20 {
+		t.Errorf("q1 = %v", q)
+	}
+	// The three non-positive samples share their mean (-2) as the
+	// representative for interior quantiles landing among them.
+	if q := h.Quantile(0.25); q != -2 {
+		t.Errorf("q0.25 = %v, want non-positive bucket mean -2", q)
+	}
+	if m := h.Mean(); !almostEqual(m, 24.0/5) {
 		t.Errorf("mean = %v", m)
 	}
 }
