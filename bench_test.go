@@ -194,9 +194,9 @@ func BenchmarkExtensionShadowConds(b *testing.B) {
 	runOnce(b, experiments.ExtensionShadowConds)
 }
 
-// observabilityCore builds a Skia-configured core on a small workload
-// for the disabled- vs enabled-observability overhead pair below.
-func observabilityCore(b *testing.B) *cpu.Core {
+// cycleCore builds a core on a small workload for the hot-loop
+// benchmarks below, warmed so the timed region measures steady state.
+func cycleCore(b *testing.B, cfg cpu.Config) *cpu.Core {
 	b.Helper()
 	prof, err := workload.ByName("voter")
 	if err != nil {
@@ -206,13 +206,62 @@ func observabilityCore(b *testing.B) *cpu.Core {
 	if err != nil {
 		b.Fatal(err)
 	}
-	c, err := cpu.New(cpu.SkiaConfig(), w)
+	c, err := cpu.New(cfg, w)
 	if err != nil {
 		b.Fatal(err)
 	}
 	c.Run(100_000) // warm predictors and caches out of the timed region
 	c.ResetStats()
 	return c
+}
+
+// observabilityCore builds a Skia-configured core on a small workload
+// for the disabled- vs enabled-observability overhead pair below.
+func observabilityCore(b *testing.B) *cpu.Core {
+	b.Helper()
+	return cycleCore(b, cpu.SkiaConfig())
+}
+
+// benchCycle is the shared hot loop: run the simulated core in 1000-
+// instruction slices, rebuilding it when the workload halts, and report
+// simulated instruction throughput alongside the allocation counters.
+func benchCycle(b *testing.B, mk func() *cpu.Core) {
+	c := mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Run(1000) == 0 {
+			b.StopTimer()
+			c = mk()
+			b.StartTimer()
+		}
+	}
+	b.ReportMetric(float64(c.Retired())/float64(b.Elapsed().Seconds())/1e6, "Minsts/s")
+}
+
+// BenchmarkFrontEndCycle is the headline hot-loop benchmark the perf
+// trajectory (BENCH_*.json) tracks: the full Skia front-end cycle —
+// IAG, FTQ, L1-I, shadow decode (memoized), decode verification — with
+// no observability attached. cmd/skiabench records its ns/op, B/op,
+// allocs/op, and Minsts/s every run.
+func BenchmarkFrontEndCycle(b *testing.B) {
+	benchCycle(b, func() *cpu.Core { return cycleCore(b, cpu.SkiaConfig()) })
+}
+
+// BenchmarkFrontEndCycle_NoDecodeCache is the same loop with the
+// shadow-decode memoization disabled: every line entering the FTQ is
+// re-length-decoded. The gap to BenchmarkFrontEndCycle is the cache's
+// net win.
+func BenchmarkFrontEndCycle_NoDecodeCache(b *testing.B) {
+	cfg := cpu.SkiaConfig()
+	cfg.Frontend.NoDecodeCache = true
+	benchCycle(b, func() *cpu.Core { return cycleCore(b, cfg) })
+}
+
+// BenchmarkFrontEndCycle_Baseline runs the non-Skia baseline front-end
+// (no shadow decoders at all), isolating how much of the cycle cost the
+// Skia structures add.
+func BenchmarkFrontEndCycle_Baseline(b *testing.B) {
+	benchCycle(b, func() *cpu.Core { return cycleCore(b, cpu.DefaultConfig()) })
 }
 
 // BenchmarkFrontEndCycle_NoObservability is the zero-overhead guard's

@@ -1,0 +1,309 @@
+// Command skiabench records the simulator's performance trajectory:
+// it runs the tier-1 hot-loop benchmarks with allocation reporting,
+// measures end-to-end experiment throughput, and emits one versioned
+// BENCH_*.json envelope per run so future changes diff performance the
+// same way cmd/skiacmp diffs correctness.
+//
+// Usage:
+//
+//	skiabench                       # print the table
+//	skiabench -out BENCH_4.json     # also write the JSON envelope
+//	skiabench -baseline BENCH_4.json -max-regress 0.25
+//	skiabench -bench frontend       # run a subset by substring
+//
+// With -baseline the run gates like a regression test: any benchmark
+// whose ns/op exceeds the baseline's by more than -max-regress fails
+// the run (exit 1). Allocation counts gate under the same threshold,
+// but only for benchmarks whose baseline allocates enough (≥100
+// allocs/op) for the ratio to be meaningful. The envelope schema is
+// documented in EXPERIMENTS.md ("Benchmark trajectory schema").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// SchemaVersion identifies the BENCH_*.json envelope format.
+const SchemaVersion = 1
+
+// Entry is one benchmark's measured cost.
+type Entry struct {
+	Name string `json:"name"`
+	// Iterations is testing.B's chosen N (1 for experiment entries).
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall time per operation. For hot-loop benchmarks an
+	// operation is 1000 simulated instructions; for experiment entries
+	// it is the whole experiment.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp come from testing.B's allocation
+	// counters (absent for experiment entries).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Metrics carries benchmark-specific extras: "minsts_per_s" for
+	// hot loops (simulated Minstructions per wall second), "sim_mips"
+	// for experiment entries (the runner's aggregate throughput).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Envelope is the BENCH_*.json file layout.
+type Envelope struct {
+	SchemaVersion int     `json:"schema_version"`
+	GeneratedAt   string  `json:"generated_at"`
+	GitDescribe   string  `json:"git_describe,omitempty"`
+	GoVersion     string  `json:"go_version"`
+	GOOS          string  `json:"goos"`
+	GOARCH        string  `json:"goarch"`
+	NumCPU        int     `json:"num_cpu"`
+	Entries       []Entry `json:"entries"`
+}
+
+// cycleCore builds a warmed core for the hot-loop benchmarks,
+// mirroring bench_test.go's BenchmarkFrontEndCycle setup so the two
+// report comparable numbers.
+func cycleCore(cfg cpu.Config) (*cpu.Core, error) {
+	prof, err := workload.ByName("voter")
+	if err != nil {
+		return nil, err
+	}
+	w, err := workload.Generate(prof)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cpu.New(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	c.Run(100_000)
+	c.ResetStats()
+	return c, nil
+}
+
+// benchCycle measures the simulated front-end cycle in 1000-instruction
+// slices (the same loop as bench_test.go's BenchmarkFrontEndCycle).
+func benchCycle(cfg cpu.Config) (Entry, error) {
+	var retired uint64
+	r := testing.Benchmark(func(b *testing.B) {
+		// The core is rebuilt per invocation: testing.Benchmark probes
+		// the function at growing b.N, and retired instructions must
+		// count only the final timed run.
+		retired = 0
+		b.StopTimer()
+		c, err := cycleCore(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if c.Run(1000) == 0 {
+				b.StopTimer()
+				nc, err := cycleCore(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				retired += c.Retired()
+				c = nc
+				b.StartTimer()
+			}
+		}
+		retired += c.Retired()
+	})
+	e := Entry{
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if r.T > 0 {
+		e.Metrics = map[string]float64{
+			"minsts_per_s": float64(retired) / r.T.Seconds() / 1e6,
+		}
+	}
+	return e, nil
+}
+
+// benchExperiment runs one experiment harness once on a reduced window
+// and records its wall time plus the runner's simulated-MIPS
+// throughput (Meta.Sim.InstructionsPerSec).
+func benchExperiment(f func(experiments.Options) (*experiments.Report, error)) (Entry, error) {
+	o := experiments.Options{
+		Warmup:     100_000,
+		Measure:    300_000,
+		Benchmarks: []string{"voter", "noop"},
+	}
+	start := time.Now()
+	rep, err := f(o)
+	if err != nil {
+		return Entry{}, err
+	}
+	wall := time.Since(start)
+	e := Entry{
+		Iterations: 1,
+		NsPerOp:    float64(wall.Nanoseconds()),
+		Metrics:    map[string]float64{},
+	}
+	if rep.Meta.Sim != nil {
+		e.Metrics["sim_mips"] = rep.Meta.Sim.InstructionsPerSec / 1e6
+	}
+	return e, nil
+}
+
+// registry lists every tracked benchmark in report order.
+func registry() []struct {
+	name string
+	run  func() (Entry, error)
+} {
+	noCache := cpu.SkiaConfig()
+	noCache.Frontend.NoDecodeCache = true
+	return []struct {
+		name string
+		run  func() (Entry, error)
+	}{
+		{"frontend-cycle", func() (Entry, error) { return benchCycle(cpu.SkiaConfig()) }},
+		{"frontend-cycle-nocache", func() (Entry, error) { return benchCycle(noCache) }},
+		{"frontend-cycle-baseline", func() (Entry, error) { return benchCycle(cpu.DefaultConfig()) }},
+		{"fig14-reduced", func() (Entry, error) { return benchExperiment(experiments.Fig14) }},
+	}
+}
+
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// gate compares a run against a baseline envelope; it returns one
+// message per regression beyond maxRegress.
+func gate(base, head *Envelope, maxRegress float64) []string {
+	byName := make(map[string]Entry, len(base.Entries))
+	for _, e := range base.Entries {
+		byName[e.Name] = e
+	}
+	var fails []string
+	for _, e := range head.Entries {
+		b, ok := byName[e.Name]
+		if !ok {
+			continue // new benchmark: nothing to regress against
+		}
+		if b.NsPerOp > 0 && e.NsPerOp > b.NsPerOp*(1+maxRegress) {
+			fails = append(fails, fmt.Sprintf("%s: ns/op %.0f -> %.0f (+%.1f%%, limit +%.0f%%)",
+				e.Name, b.NsPerOp, e.NsPerOp, (e.NsPerOp/b.NsPerOp-1)*100, maxRegress*100))
+		}
+		// Allocation gate: only when the baseline allocates enough for
+		// the ratio to be stable (tiny counts flap on map growth).
+		if b.AllocsPerOp >= 100 && float64(e.AllocsPerOp) > float64(b.AllocsPerOp)*(1+maxRegress) {
+			fails = append(fails, fmt.Sprintf("%s: allocs/op %d -> %d (+%.1f%%, limit +%.0f%%)",
+				e.Name, b.AllocsPerOp, e.AllocsPerOp,
+				(float64(e.AllocsPerOp)/float64(b.AllocsPerOp)-1)*100, maxRegress*100))
+		}
+	}
+	return fails
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "", "write the JSON envelope to this file")
+		baseline   = flag.String("baseline", "", "gate against this BENCH_*.json baseline")
+		maxRegress = flag.Float64("max-regress", 0.25, "maximum tolerated ns/op (and allocs/op) regression vs -baseline")
+		match      = flag.String("bench", "", "only run benchmarks whose name contains this substring")
+	)
+	var prof metrics.Profiler
+	prof.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skiabench: %v\n", err)
+		os.Exit(2)
+	}
+
+	env := &Envelope{
+		SchemaVersion: SchemaVersion,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GitDescribe:   gitDescribe(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+	}
+	for _, reg := range registry() {
+		if *match != "" && !strings.Contains(reg.name, *match) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", reg.name)
+		e, err := reg.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skiabench: %s: %v\n", reg.name, err)
+			os.Exit(2)
+		}
+		e.Name = reg.name
+		env.Entries = append(env.Entries, e)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "skiabench: %v\n", err)
+	}
+
+	fmt.Printf("%-26s %12s %12s %12s %10s\n", "benchmark", "ns/op", "B/op", "allocs/op", "extra")
+	for _, e := range env.Entries {
+		extra := ""
+		if v, ok := e.Metrics["minsts_per_s"]; ok {
+			extra = fmt.Sprintf("%.2f Mi/s", v)
+		} else if v, ok := e.Metrics["sim_mips"]; ok {
+			extra = fmt.Sprintf("%.2f MIPS", v)
+		}
+		fmt.Printf("%-26s %12.0f %12d %12d %10s\n", e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, extra)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(env, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skiabench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "skiabench: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skiabench: baseline: %v\n", err)
+			os.Exit(2)
+		}
+		var base Envelope
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "skiabench: baseline: %v\n", err)
+			os.Exit(2)
+		}
+		if base.SchemaVersion > SchemaVersion {
+			fmt.Fprintf(os.Stderr, "skiabench: baseline schema v%d is newer than this build (v%d)\n",
+				base.SchemaVersion, SchemaVersion)
+			os.Exit(2)
+		}
+		fails := gate(&base, env, *maxRegress)
+		if len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintf(os.Stderr, "REGRESSION %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ok: within %.0f%% of %s\n", *maxRegress*100, *baseline)
+	}
+}

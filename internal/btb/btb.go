@@ -78,6 +78,125 @@ type Stats struct {
 	Evictions uint64
 }
 
+// infEntry is one slot of the infinite BTB's open-addressed table.
+type infEntry struct {
+	pc   uint64
+	used bool
+	e    Entry
+}
+
+// infTable is an open-addressed hash table with linear probing and
+// backward-shift deletion, replacing the map[uint64]Entry the infinite
+// configuration used to pay a hashed map access (plus per-bucket
+// pointer chasing) for on every lookup of the simulator's hottest loop.
+// Slots live in one flat slice: probes are sequential loads, inserts
+// never allocate until the table grows, and deletion keeps probe chains
+// intact without tombstones.
+type infTable struct {
+	slots []infEntry
+	n     int
+	shift uint // 64 - log2(len(slots)); Fibonacci-hash shift
+}
+
+const infInitialSlots = 1 << 12
+
+func newInfTable() *infTable {
+	t := &infTable{}
+	t.init(infInitialSlots)
+	return t
+}
+
+func (t *infTable) init(size int) {
+	t.slots = make([]infEntry, size)
+	t.shift = 64
+	for s := 1; s < size; s <<= 1 {
+		t.shift--
+	}
+}
+
+func (t *infTable) home(pc uint64) uint64 {
+	return (pc * 0x9E3779B97F4A7C15) >> t.shift
+}
+
+func (t *infTable) get(pc uint64) (Entry, bool) {
+	mask := uint64(len(t.slots) - 1)
+	for i := t.home(pc); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if !s.used {
+			return Entry{}, false
+		}
+		if s.pc == pc {
+			return s.e, true
+		}
+	}
+}
+
+// put installs or refreshes pc's entry, reporting whether it was
+// already present.
+func (t *infTable) put(pc uint64, e Entry) bool {
+	if t.n*4 >= len(t.slots)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := t.home(pc); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if !s.used {
+			*s = infEntry{pc: pc, used: true, e: e}
+			t.n++
+			return false
+		}
+		if s.pc == pc {
+			s.e = e
+			return true
+		}
+	}
+}
+
+// del removes pc's entry with backward-shift deletion: subsequent slots
+// in the probe chain move back to fill the hole so no chain is broken.
+func (t *infTable) del(pc uint64) {
+	mask := uint64(len(t.slots) - 1)
+	i := t.home(pc)
+	for {
+		s := &t.slots[i]
+		if !s.used {
+			return
+		}
+		if s.pc == pc {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	t.n--
+	j := i
+	for {
+		j = (j + 1) & mask
+		if !t.slots[j].used {
+			break
+		}
+		// The entry at j may move back into the hole at i only if its
+		// home position does not lie (cyclically) between i and j —
+		// otherwise the move would strand it before its home.
+		home := t.home(t.slots[j].pc)
+		if (j-home)&mask >= (j-i)&mask {
+			t.slots[i] = t.slots[j]
+			i = j
+		}
+	}
+	t.slots[i] = infEntry{}
+}
+
+func (t *infTable) grow() {
+	old := t.slots
+	t.init(len(old) * 2)
+	t.n = 0
+	for i := range old {
+		if old[i].used {
+			t.put(old[i].pc, old[i].e)
+		}
+	}
+}
+
 // BTB is the branch target buffer. Not safe for concurrent use.
 type BTB struct {
 	cfg     Config
@@ -85,14 +204,14 @@ type BTB struct {
 	setMask uint64
 	tagMask uint64
 	tick    uint64
-	inf     map[uint64]Entry
+	inf     *infTable
 	stats   Stats
 }
 
 // New builds a BTB from cfg.
 func New(cfg Config) (*BTB, error) {
 	if cfg.Infinite {
-		return &BTB{cfg: cfg, inf: make(map[uint64]Entry)}, nil
+		return &BTB{cfg: cfg, inf: newInfTable()}, nil
 	}
 	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
 		return nil, fmt.Errorf("btb: bad geometry %d entries / %d ways", cfg.Entries, cfg.Ways)
@@ -143,7 +262,7 @@ func popcount(x uint64) int {
 func (b *BTB) Lookup(pc uint64) (Entry, bool) {
 	b.stats.Lookups++
 	if b.inf != nil {
-		e, ok := b.inf[pc]
+		e, ok := b.inf.get(pc)
 		if ok {
 			b.stats.Hits++
 		} else {
@@ -169,8 +288,7 @@ func (b *BTB) Lookup(pc uint64) (Entry, bool) {
 // harnesses.
 func (b *BTB) Probe(pc uint64) (Entry, bool) {
 	if b.inf != nil {
-		e, ok := b.inf[pc]
-		return e, ok
+		return b.inf.get(pc)
 	}
 	set, tag := b.index(pc)
 	for w := range b.sets[set] {
@@ -186,10 +304,9 @@ func (b *BTB) Probe(pc uint64) (Entry, bool) {
 func (b *BTB) Insert(pc uint64, e Entry) {
 	b.stats.Inserts++
 	if b.inf != nil {
-		if _, ok := b.inf[pc]; ok {
+		if b.inf.put(pc, e) {
 			b.stats.Updates++
 		}
-		b.inf[pc] = e
 		return
 	}
 	set, tag := b.index(pc)
@@ -225,7 +342,7 @@ func (b *BTB) Insert(pc uint64, e Entry) {
 // Invalidate removes the entry for pc if present.
 func (b *BTB) Invalidate(pc uint64) {
 	if b.inf != nil {
-		delete(b.inf, pc)
+		b.inf.del(pc)
 		return
 	}
 	set, tag := b.index(pc)

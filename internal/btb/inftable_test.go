@@ -1,0 +1,71 @@
+package btb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInfTableMatchesMap drives the open-addressed infinite-BTB table
+// against a reference map through a random mix of inserts, updates,
+// deletes, and lookups, crossing several growth thresholds. Keys are
+// drawn from a small space so probe chains collide and backward-shift
+// deletion is exercised in anger.
+func TestInfTableMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := newInfTable()
+	ref := make(map[uint64]Entry)
+
+	key := func() uint64 { return uint64(rng.Intn(3 * infInitialSlots)) }
+	for op := 0; op < 200_000; op++ {
+		switch rng.Intn(4) {
+		case 0, 1: // insert/update
+			pc := key()
+			e := Entry{Target: rng.Uint64(), FallThrough: pc + 4}
+			_, present := ref[pc]
+			if updated := tab.put(pc, e); updated != present {
+				t.Fatalf("op %d: put(%#x) updated=%v, want %v", op, pc, updated, present)
+			}
+			ref[pc] = e
+		case 2: // delete
+			pc := key()
+			tab.del(pc)
+			delete(ref, pc)
+		case 3: // lookup
+			pc := key()
+			got, ok := tab.get(pc)
+			want, present := ref[pc]
+			if ok != present || got != want {
+				t.Fatalf("op %d: get(%#x) = %+v,%v want %+v,%v", op, pc, got, ok, want, present)
+			}
+		}
+		if tab.n != len(ref) {
+			t.Fatalf("op %d: size %d, want %d", op, tab.n, len(ref))
+		}
+	}
+	// Full sweep: every reference key resolves, nothing extra survives.
+	for pc, want := range ref {
+		got, ok := tab.get(pc)
+		if !ok || got != want {
+			t.Fatalf("final: get(%#x) = %+v,%v want %+v,true", pc, got, ok, want)
+		}
+	}
+}
+
+// TestInfiniteBTBNeverEvicts pins the infinite configuration's
+// contract: everything inserted stays retrievable with full precision.
+func TestInfiniteBTBNeverEvicts(t *testing.T) {
+	b := MustNew(Config{Infinite: true})
+	const n = 100_000
+	for i := uint64(0); i < n; i++ {
+		b.Insert(i*8, Entry{Target: i, FallThrough: i*8 + 4})
+	}
+	for i := uint64(0); i < n; i++ {
+		e, ok := b.Probe(i * 8)
+		if !ok || e.Target != i {
+			t.Fatalf("lost entry %d: %+v %v", i, e, ok)
+		}
+	}
+	if s := b.Stats(); s.Evictions != 0 {
+		t.Fatalf("infinite BTB evicted: %+v", s)
+	}
+}

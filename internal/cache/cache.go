@@ -38,9 +38,16 @@ type Cache struct {
 	sets     [][]line
 	ways     int
 	lineBits uint
+	setBits  uint
 	setMask  uint64
 	tick     uint64
 	stats    Stats
+
+	// OnEvict, when non-nil, observes every line leaving the cache —
+	// capacity evictions and explicit invalidations — with the line's
+	// base address. The front end uses it to drop the line's memoized
+	// shadow decodes; nil costs one comparison per eviction.
+	OnEvict func(lineAddr uint64)
 }
 
 // New builds a cache of sizeBytes capacity with the given associativity
@@ -65,10 +72,15 @@ func New(sizeBytes, ways, lineSize int) (*Cache, error) {
 	for 1<<lineBits < lineSize {
 		lineBits++
 	}
+	setBits := uint(0)
+	for 1<<setBits < nsets {
+		setBits++
+	}
 	c := &Cache{
 		sets:     make([][]line, nsets),
 		ways:     ways,
 		lineBits: lineBits,
+		setBits:  setBits,
 		setMask:  uint64(nsets - 1),
 	}
 	for i := range c.sets {
@@ -88,15 +100,13 @@ func MustNew(sizeBytes, ways, lineSize int) *Cache {
 
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
 	l := addr >> c.lineBits
-	return int(l & c.setMask), l >> uint(popcount(c.setMask))
+	return int(l & c.setMask), l >> c.setBits
 }
 
-func popcount(x uint64) int {
-	n := 0
-	for ; x != 0; x &= x - 1 {
-		n++
-	}
-	return n
+// lineAddr reconstructs a resident line's base address from its set and
+// tag, inverting index.
+func (c *Cache) lineAddr(set int, tag uint64) uint64 {
+	return (tag<<c.setBits | uint64(set)) << c.lineBits
 }
 
 // find returns the way index of the line or -1.
@@ -167,6 +177,9 @@ func (c *Cache) fill(set int, tag uint64, prefetched bool) {
 		if ln.prefetched && !ln.used {
 			c.stats.PollutionEvicted++
 		}
+		if c.OnEvict != nil {
+			c.OnEvict(c.lineAddr(set, ln.tag))
+		}
 	}
 	*ln = line{tag: tag, valid: true, lru: c.tick, prefetched: prefetched, used: !prefetched}
 }
@@ -183,6 +196,9 @@ func (c *Cache) Invalidate(addr uint64) {
 	set, tag := c.index(addr)
 	if w := c.find(set, tag); w >= 0 {
 		c.sets[set][w] = line{}
+		if c.OnEvict != nil {
+			c.OnEvict(c.lineAddr(set, tag))
+		}
 	}
 }
 

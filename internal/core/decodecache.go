@@ -1,0 +1,221 @@
+// The decoded-line cache: memoizes Shadow Branch Decoder results for
+// hot L1-I lines. The paper keeps the SBD off the processor's critical
+// path because length-decoding a line is expensive and redundant for
+// resident lines (Section 3.2); the simulator pays that cost in
+// software every time a line re-enters the FTQ. Program images are
+// immutable after linking, so a (lineAddr, offset) pair always decodes
+// to the same branches — memoizing the result is purely a simulator
+// throughput optimization and must be invisible to every statistic.
+//
+// To stay invisible, each entry stores not just the extracted branches
+// but the full observable side effect of the decode: the SBDStats
+// deltas (region counted, discarded/no-valid-path flags, branch count)
+// and the path-family count reported through the OnHeadPaths hook. A
+// cache hit replays all of them, so a run with the cache enabled is
+// bit-identical — report JSON included — to a run without it. The
+// differential mode re-decodes on every hit and counts mismatches,
+// which the property and differential tests pin to zero.
+package core
+
+// regionKind distinguishes head from tail entries under one key space.
+type regionKind uint8
+
+const (
+	regionHead regionKind = iota
+	regionTail
+)
+
+// DecodeCacheStats counts cache events for observability and tests.
+type DecodeCacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64 // lines dropped by InvalidateLine
+	Evictions     uint64 // lines dropped by the capacity bound
+	Mismatches    uint64 // differential-mode disagreements (must stay 0)
+}
+
+// cachedDecode is one memoized head or tail decode.
+type cachedDecode struct {
+	off       int32
+	kind      regionKind
+	noValid   bool // head outcome: zero valid paths
+	discarded bool // head outcome: over the MaxValidPaths cap
+	nFamilies int32
+	branches  []ShadowBranch
+}
+
+// lineDecodes holds every memoized decode of one cache line. A line is
+// entered from only a handful of distinct offsets (its basic-block
+// entry points and post-branch tail starts), so a small linear list
+// beats a nested map.
+type lineDecodes struct {
+	entries []cachedDecode
+}
+
+// DecodeCache memoizes SBD head/tail decodes keyed by
+// (lineAddr, offset). It is not safe for concurrent use; each simulated
+// core owns its own instance (mirroring how each core owns its SBD).
+type DecodeCache struct {
+	lines        map[uint64]*lineDecodes
+	maxLines     int
+	differential bool
+	stats        DecodeCacheStats
+
+	// diffScratch is reused by the differential re-decode so the
+	// checking path does not distort the allocation profile it guards.
+	diffScratch []ShadowBranch
+
+	// freeLines and freeBranches recycle dropped lines' storage:
+	// steady-state simulation continuously invalidates (L1-I evictions)
+	// and re-records hot lines, and without reuse that churn allocates
+	// on the critical path the cache exists to speed up.
+	freeLines    []*lineDecodes
+	freeBranches [][]ShadowBranch
+}
+
+// DefaultDecodeCacheLines bounds the cache to comfortably cover an
+// L1-I's worth of lines (512 × 64 B = 32 KiB) plus prefetched lines in
+// flight, while keeping worst-case footprint small.
+const DefaultDecodeCacheLines = 1024
+
+// NewDecodeCache builds a cache bounded to maxLines distinct line
+// addresses (0 = DefaultDecodeCacheLines). With differential set, every
+// hit re-runs the fresh decode and records disagreements in
+// Stats().Mismatches instead of trusting the memo.
+func NewDecodeCache(maxLines int, differential bool) *DecodeCache {
+	if maxLines <= 0 {
+		maxLines = DefaultDecodeCacheLines
+	}
+	return &DecodeCache{
+		lines:        make(map[uint64]*lineDecodes, maxLines),
+		maxLines:     maxLines,
+		differential: differential,
+	}
+}
+
+// Stats returns accumulated cache counters.
+func (c *DecodeCache) Stats() DecodeCacheStats { return c.stats }
+
+// lookup finds the memoized decode for (lineAddr, off, kind).
+func (c *DecodeCache) lookup(lineAddr uint64, off int, kind regionKind) (*cachedDecode, bool) {
+	ld := c.lines[lineAddr]
+	if ld != nil {
+		for i := range ld.entries {
+			e := &ld.entries[i]
+			if e.off == int32(off) && e.kind == kind {
+				c.stats.Hits++
+				return e, true
+			}
+		}
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// record memoizes a fresh decode's branches and replay metadata. The
+// branch slice is copied: callers hand in a view of their scratch
+// buffer.
+func (c *DecodeCache) record(lineAddr uint64, off int, kind regionKind, branches []ShadowBranch, nFamilies int, noValid, discarded bool) {
+	ld := c.lines[lineAddr]
+	if ld == nil {
+		if len(c.lines) >= c.maxLines {
+			c.evictOne()
+		}
+		if n := len(c.freeLines); n > 0 {
+			ld = c.freeLines[n-1]
+			c.freeLines = c.freeLines[:n-1]
+		} else {
+			ld = &lineDecodes{}
+		}
+		c.lines[lineAddr] = ld
+	}
+	e := cachedDecode{
+		off:       int32(off),
+		kind:      kind,
+		noValid:   noValid,
+		discarded: discarded,
+		nFamilies: int32(nFamilies),
+	}
+	if len(branches) > 0 {
+		var buf []ShadowBranch
+		if n := len(c.freeBranches); n > 0 {
+			buf = c.freeBranches[n-1][:0]
+			c.freeBranches = c.freeBranches[:n-1]
+		}
+		e.branches = append(buf, branches...)
+	}
+	ld.entries = append(ld.entries, e)
+}
+
+// release returns a dropped line's storage to the free lists.
+func (c *DecodeCache) release(ld *lineDecodes) {
+	for i := range ld.entries {
+		if b := ld.entries[i].branches; cap(b) > 0 {
+			c.freeBranches = append(c.freeBranches, b[:0])
+		}
+		ld.entries[i] = cachedDecode{}
+	}
+	ld.entries = ld.entries[:0]
+	c.freeLines = append(c.freeLines, ld)
+}
+
+// evictOne drops an arbitrary line to respect the capacity bound. The
+// choice is deliberately allowed to be arbitrary (map iteration order):
+// hit and miss produce identical simulation results, so victim choice
+// affects only throughput, never output.
+func (c *DecodeCache) evictOne() {
+	for addr, ld := range c.lines {
+		delete(c.lines, addr)
+		c.release(ld)
+		c.stats.Evictions++
+		return
+	}
+}
+
+// InvalidateLine drops every memoized decode of one line. The front end
+// wires this to the L1-I's eviction hook: a line leaving the L1-I is no
+// longer hot, so its memo space is better spent elsewhere.
+func (c *DecodeCache) InvalidateLine(lineAddr uint64) {
+	if ld, ok := c.lines[lineAddr]; ok {
+		delete(c.lines, lineAddr)
+		c.release(ld)
+		c.stats.Invalidations++
+	}
+}
+
+// Len returns the number of distinct line addresses currently cached.
+func (c *DecodeCache) Len() int { return len(c.lines) }
+
+// checkHead re-runs a head decode fresh and compares it against the
+// memoized entry, counting any disagreement.
+func (c *DecodeCache) checkHead(d *SBD, e *cachedDecode, line []byte, lineAddr uint64, entryOff int) {
+	c.diffScratch = c.diffScratch[:0]
+	fresh, nFam, noValid, discarded := d.headCore(line, lineAddr, entryOff, c.diffScratch)
+	c.diffScratch = fresh
+	if nFam != int(e.nFamilies) || noValid != e.noValid || discarded != e.discarded ||
+		!sameBranches(fresh, e.branches) {
+		c.stats.Mismatches++
+	}
+}
+
+// checkTail is checkHead for tail decodes.
+func (c *DecodeCache) checkTail(d *SBD, e *cachedDecode, line []byte, lineAddr uint64, startOff int) {
+	c.diffScratch = c.diffScratch[:0]
+	fresh := d.tailCore(line, lineAddr, startOff, c.diffScratch)
+	c.diffScratch = fresh
+	if !sameBranches(fresh, e.branches) {
+		c.stats.Mismatches++
+	}
+}
+
+func sameBranches(a, b []ShadowBranch) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -70,6 +70,7 @@ type uWay struct {
 	retired bool
 	lru     uint64
 	bornAt  uint64 // Clock() cycle the entry was installed
+	pc      uint64 // full branch PC, simulator bookkeeping (see OnRemove)
 	e       UEntry
 }
 
@@ -79,6 +80,7 @@ type rWay struct {
 	retired bool
 	lru     uint64
 	bornAt  uint64 // Clock() cycle the entry was installed
+	pc      uint64 // full branch PC, simulator bookkeeping (see OnRemove)
 	offset  uint8  // byte offset of the return within its line
 }
 
@@ -118,6 +120,22 @@ type SBB struct {
 	// Clock, when non-nil, timestamps inserts so evictions can report
 	// entry lifetimes. The SBB has no cycle counter of its own.
 	Clock func() uint64
+
+	// OnRemove, when non-nil, observes every entry leaving the buffer —
+	// capacity evictions, invalidations, and tag-aliased overwrites —
+	// with the departed entry's full branch PC. The PC is simulator
+	// bookkeeping the hardware would not store (partial tags cannot
+	// reconstruct it); the front-end uses the hook to retire the PC from
+	// its probe-candidate sets so they track live SBB content instead of
+	// growing monotonically.
+	OnRemove func(pc uint64)
+}
+
+// removed fires OnRemove for a departing entry.
+func (s *SBB) removed(pc uint64) {
+	if s.OnRemove != nil {
+		s.OnRemove(pc)
+	}
 }
 
 // now returns the current Clock cycle, or 0 without a Clock.
@@ -305,7 +323,12 @@ func (s *SBB) insertU(sb ShadowBranch) {
 		wy := &s.uSets[set][w]
 		if wy.valid && wy.tag == tag {
 			// Refresh in place; keep the retired bit (re-decoding the
-			// same shadow region is common).
+			// same shadow region is common). A differing stored PC means
+			// the partial tag aliased: the old branch's entry is gone.
+			if wy.pc != sb.PC {
+				s.removed(wy.pc)
+				wy.pc = sb.PC
+			}
 			wy.e = e
 			wy.lru = s.tick
 			return
@@ -318,8 +341,9 @@ func (s *SBB) insertU(sb ShadowBranch) {
 		if s.OnEvict != nil {
 			s.OnEvict(true, s.uSets[set][w].retired, now-s.uSets[set][w].bornAt)
 		}
+		s.removed(s.uSets[set][w].pc)
 	}
-	s.uSets[set][w] = uWay{tag: tag, valid: true, lru: s.tick, bornAt: now, e: e}
+	s.uSets[set][w] = uWay{tag: tag, valid: true, lru: s.tick, bornAt: now, pc: sb.PC, e: e}
 	s.stats.UInserts++
 }
 
@@ -333,6 +357,10 @@ func (s *SBB) insertR(pc uint64) {
 	for w := range s.rSets[set] {
 		wy := &s.rSets[set][w]
 		if wy.valid && wy.tag == tag && wy.offset == off {
+			if wy.pc != pc {
+				s.removed(wy.pc)
+				wy.pc = pc
+			}
 			wy.lru = s.tick
 			return
 		}
@@ -344,8 +372,9 @@ func (s *SBB) insertR(pc uint64) {
 		if s.OnEvict != nil {
 			s.OnEvict(false, s.rSets[set][w].retired, now-s.rSets[set][w].bornAt)
 		}
+		s.removed(s.rSets[set][w].pc)
 	}
-	s.rSets[set][w] = rWay{tag: tag, valid: true, lru: s.tick, bornAt: now, offset: off}
+	s.rSets[set][w] = rWay{tag: tag, valid: true, lru: s.tick, bornAt: now, pc: pc, offset: off}
 	s.stats.RInserts++
 }
 
@@ -427,8 +456,10 @@ func (s *SBB) Invalidate(pc uint64) {
 		for w := range s.uSets[set] {
 			wy := &s.uSets[set][w]
 			if wy.valid && wy.tag == tag {
+				gone := wy.pc
 				*wy = uWay{}
 				s.stats.Invalidated++
+				s.removed(gone)
 			}
 		}
 	}
@@ -438,8 +469,10 @@ func (s *SBB) Invalidate(pc uint64) {
 		for w := range s.rSets[set] {
 			wy := &s.rSets[set][w]
 			if wy.valid && wy.tag == tag && wy.offset == off {
+				gone := wy.pc
 				*wy = rWay{}
 				s.stats.Invalidated++
+				s.removed(gone)
 			}
 		}
 	}

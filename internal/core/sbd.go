@@ -140,12 +140,25 @@ type SBD struct {
 	// region.
 	OnHeadPaths func(families int)
 
+	// cache, when non-nil, memoizes head/tail decode results per
+	// (lineAddr, offset); see decodecache.go. The program image is
+	// immutable after linking, so cached entries can only go stale
+	// through capacity pressure, never through content change —
+	// invalidation exists to bound memory, not for correctness.
+	cache *DecodeCache
+
 	// scratch buffers reused across calls to avoid allocation in the
 	// simulator's hot loop.
 	lengths [program.LineSize]int
 	valid   [program.LineSize]bool
 	visits  [program.LineSize]int
 }
+
+// AttachCache installs (or, with nil, removes) a decode cache. The
+// cache memoizes DecodeHead/DecodeTail results so hot L1-I lines
+// re-entering the FTQ skip re-length-decoding; replayed statistics are
+// identical to what the fresh decode would have recorded.
+func (d *SBD) AttachCache(c *DecodeCache) { d.cache = c }
 
 // NewSBD builds a decoder from cfg.
 func NewSBD(cfg SBDConfig) *SBD {
@@ -173,8 +186,50 @@ func (d *SBD) DecodeHead(line []byte, lineAddr uint64, entryOff int, dst []Shado
 	if !d.cfg.Head || entryOff <= 0 || entryOff > len(line) {
 		return dst
 	}
+	if d.cache != nil {
+		if e, ok := d.cache.lookup(lineAddr, entryOff, regionHead); ok {
+			if d.cache.differential {
+				d.cache.checkHead(d, e, line, lineAddr, entryOff)
+			}
+			d.stats.HeadRegions++
+			if e.noValid {
+				d.stats.HeadNoValidPath++
+			}
+			if e.discarded {
+				d.stats.HeadDiscarded++
+			}
+			d.stats.HeadBranches += uint64(len(e.branches))
+			if d.OnHeadPaths != nil {
+				d.OnHeadPaths(int(e.nFamilies))
+			}
+			return append(dst, e.branches...)
+		}
+	}
+	n0 := len(dst)
+	dst, nFamilies, noValid, discarded := d.headCore(line, lineAddr, entryOff, dst)
 	d.stats.HeadRegions++
+	if noValid {
+		d.stats.HeadNoValidPath++
+	}
+	if discarded {
+		d.stats.HeadDiscarded++
+	}
+	d.stats.HeadBranches += uint64(len(dst) - n0)
+	if d.OnHeadPaths != nil {
+		d.OnHeadPaths(nFamilies)
+	}
+	if d.cache != nil {
+		d.cache.record(lineAddr, entryOff, regionHead, dst[n0:], nFamilies, noValid, discarded)
+	}
+	return dst
+}
 
+// headCore is DecodeHead's side-effect-free body: it appends extracted
+// branches to dst and reports the path-family count plus the two
+// outcome flags, without touching d.stats or the OnHeadPaths hook. The
+// split exists so the decode cache can replay exactly the statistics a
+// fresh decode would have produced.
+func (d *SBD) headCore(line []byte, lineAddr uint64, entryOff int, dst []ShadowBranch) (out []ShadowBranch, nFam int, noValid, discarded bool) {
 	// Phase 1 — Index Computation: the length of the instruction
 	// starting at every byte offset in the region (0 = undecodable).
 	// The decoder sees the whole line: an instruction may extend past
@@ -228,16 +283,11 @@ func (d *SBD) DecodeHead(line []byte, lineAddr uint64, entryOff int, dst []Shado
 			}
 		}
 	}
-	if d.OnHeadPaths != nil {
-		d.OnHeadPaths(nFamilies)
-	}
 	if firstValid < 0 {
-		d.stats.HeadNoValidPath++
-		return dst
+		return dst, nFamilies, true, false
 	}
 	if nFamilies > d.cfg.MaxValidPaths {
-		d.stats.HeadDiscarded++
-		return dst
+		return dst, nFamilies, false, true
 	}
 
 	start := firstValid
@@ -262,15 +312,13 @@ func (d *SBD) DecodeHead(line []byte, lineAddr uint64, entryOff int, dst []Shado
 	}
 
 	// Walk the chosen path and extract supported branches.
-	n0 := len(dst)
 	for p := start; p < entryOff; p += d.lengths[p] {
 		if d.cfg.RequireCorroboration && d.visits[p] < 2 {
 			continue
 		}
 		dst = d.extract(line, lineAddr, p, dst)
 	}
-	d.stats.HeadBranches += uint64(len(dst) - n0)
-	return dst
+	return dst, nFamilies, false, false
 }
 
 // DecodeTail decodes the Tail shadow region: bytes [startOff, lineEnd)
@@ -282,8 +330,29 @@ func (d *SBD) DecodeTail(line []byte, lineAddr uint64, startOff int, dst []Shado
 	if !d.cfg.Tail || startOff < 0 || startOff >= len(line) {
 		return dst
 	}
-	d.stats.TailRegions++
+	if d.cache != nil {
+		if e, ok := d.cache.lookup(lineAddr, startOff, regionTail); ok {
+			if d.cache.differential {
+				d.cache.checkTail(d, e, line, lineAddr, startOff)
+			}
+			d.stats.TailRegions++
+			d.stats.TailBranches += uint64(len(e.branches))
+			return append(dst, e.branches...)
+		}
+	}
 	n0 := len(dst)
+	dst = d.tailCore(line, lineAddr, startOff, dst)
+	d.stats.TailRegions++
+	d.stats.TailBranches += uint64(len(dst) - n0)
+	if d.cache != nil {
+		d.cache.record(lineAddr, startOff, regionTail, dst[n0:], 0, false, false)
+	}
+	return dst
+}
+
+// tailCore is DecodeTail's side-effect-free body: a single forward walk
+// appending extracted branches to dst, with no statistics updates.
+func (d *SBD) tailCore(line []byte, lineAddr uint64, startOff int, dst []ShadowBranch) []ShadowBranch {
 	for p := startOff; p < len(line); {
 		l := isa.LengthAt(line, p)
 		if l == 0 || p+l > len(line) {
@@ -292,15 +361,14 @@ func (d *SBD) DecodeTail(line []byte, lineAddr uint64, startOff int, dst []Shado
 		dst = d.extract(line, lineAddr, p, dst)
 		p += l
 	}
-	d.stats.TailBranches += uint64(len(dst) - n0)
 	return dst
 }
 
 // extract decodes the instruction at line[off] and appends it to dst if
 // it is a shadow-eligible branch fully contained in the line.
 func (d *SBD) extract(line []byte, lineAddr uint64, off int, dst []ShadowBranch) []ShadowBranch {
-	in, err := isa.Decode(line[off:], lineAddr+uint64(off))
-	if err != nil {
+	in, ok := isa.TryDecode(line[off:], lineAddr+uint64(off))
+	if !ok {
 		return dst
 	}
 	if !in.Class.IsShadowEligible() &&

@@ -31,10 +31,14 @@ type Step struct {
 // Emulator executes one workload. It is not safe for concurrent use;
 // create one per simulation run.
 type Emulator struct {
-	w      *workload.Workload
-	pc     uint64
-	stack  []uint64
-	visits map[uint64]uint64
+	w     *workload.Workload
+	pc    uint64
+	stack []uint64
+	// visits counts executions per branch site, indexed by the
+	// workload's dense canonical-stream instruction index (a flat slice
+	// beats a PC-keyed map: the lookup runs once per executed
+	// conditional or indirect branch).
+	visits []uint64
 	count  uint64
 	halted bool
 }
@@ -48,7 +52,7 @@ func New(w *workload.Workload) *Emulator {
 	return &Emulator{
 		w:      w,
 		pc:     w.Prog.Entry,
-		visits: make(map[uint64]uint64),
+		visits: make([]uint64, w.NumStaticInsts()),
 	}
 }
 
@@ -74,6 +78,13 @@ func (e *Emulator) StackCopy() []uint64 {
 	return out
 }
 
+// Stack returns the live architectural call stack, oldest frame first,
+// without copying. The returned slice aliases emulator state and is
+// invalidated by the next Step; callers that retain it must use
+// StackCopy instead. Resteer paths that immediately copy the frames
+// into the RAS use this to avoid an allocation per resteer.
+func (e *Emulator) Stack() []uint64 { return e.stack }
+
 // Step executes one instruction and returns its outcome. After a halt it
 // returns an error.
 func (e *Emulator) Step() (Step, error) {
@@ -97,8 +108,9 @@ func (e *Emulator) Step() (Step, error) {
 		if !ok {
 			return Step{}, fmt.Errorf("emu: conditional at %#x has no behaviour", in.PC)
 		}
-		v := e.visits[in.PC]
-		e.visits[in.PC] = v + 1
+		idx := e.w.InstIndex(in.PC)
+		v := e.visits[idx]
+		e.visits[idx] = v + 1
 		if b.Taken(v) {
 			st.Taken = true
 			tgt, _ := in.BranchTarget()
@@ -135,8 +147,9 @@ func (e *Emulator) Step() (Step, error) {
 		if !ok {
 			return Step{}, fmt.Errorf("emu: indirect at %#x has no behaviour", in.PC)
 		}
-		v := e.visits[in.PC]
-		e.visits[in.PC] = v + 1
+		idx := e.w.InstIndex(in.PC)
+		v := e.visits[idx]
+		e.visits[idx] = v + 1
 		tgt := b.Target(v)
 		if tgt == 0 {
 			return Step{}, fmt.Errorf("emu: indirect at %#x produced a nil target", in.PC)

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestDecodeCacheDifferentialFig14 is the end-to-end guarantee behind
+// the decode cache: it is a pure throughput optimization, so a full
+// experiment harness must produce byte-identical JSON reports with the
+// cache enabled and disabled. Fig14 exercises both shadow decoders
+// (head-only, tail-only, combined) across two benchmarks, which makes
+// it the densest consumer of cached decodes. Only Meta.Sim (wall-clock
+// throughput counters) is normalized away before comparing.
+func TestDecodeCacheDifferentialFig14(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full Fig14 runs")
+	}
+	opts := Options{
+		Warmup:     100_000,
+		Measure:    300_000,
+		Benchmarks: []string{"voter", "noop"},
+	}
+
+	render := func(o Options) []byte {
+		t.Helper()
+		rep, err := Fig14(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Meta.Sim = nil // wall-clock timings differ run to run
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	cached := opts
+	fresh := opts
+	fresh.NoDecodeCache = true
+
+	jc := render(cached)
+	jf := render(fresh)
+	if !bytes.Equal(jc, jf) {
+		t.Errorf("decode cache changed the report:\n  cached: %s\n  fresh:  %s", jc, jf)
+	}
+}

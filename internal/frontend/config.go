@@ -74,6 +74,17 @@ type Config struct {
 	// parallel SBB, consuming BTB capacity and risking pollution by
 	// bogus branches.
 	SBDToBTB bool
+
+	// NoDecodeCache disables the simulator-side memoization of shadow
+	// decodes (see core.DecodeCache). The cache is a pure throughput
+	// optimization — results and statistics are identical either way —
+	// so the zero value keeps it on; the flag exists for differential
+	// testing and perf comparison.
+	NoDecodeCache bool
+	// DecodeCacheDiff runs the decode cache in differential mode: every
+	// hit re-decodes fresh and counts disagreements (test-only; slower
+	// than no cache at all).
+	DecodeCacheDiff bool
 }
 
 // DefaultConfig returns the paper's baseline (Table 1) without Skia.

@@ -2,6 +2,7 @@ package frontend
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/attrib"
 	"repro/internal/btb"
@@ -24,6 +25,11 @@ type LineFetch struct {
 	Addr        uint64
 	WasResident bool
 }
+
+// maxBlockLineSpan bounds Block's inline line-fetch storage. A block
+// covers at most Config.MaxBlockLines lines plus one for a terminator
+// whose fall-through straddles into the next line.
+const maxBlockLineSpan = 8
 
 // CondRec is a conditional branch inside a block that the IAG predicted
 // not-taken, with the TAGE bookkeeping needed to train at decode.
@@ -54,9 +60,17 @@ type Block struct {
 	WrongPath bool
 	// ReadyAt is the cycle the block's bytes are available to decode.
 	ReadyAt uint64
-	// Lines lists covered cache lines with residency-at-prefetch.
-	Lines []LineFetch
-	// Conds lists predicted-not-taken conditionals inside the block.
+	// Lines and NLines list covered cache lines with
+	// residency-at-prefetch. Storage is inline: a block spans at most
+	// MaxBlockLines lines plus one more when a straddling terminator's
+	// fall-through crosses a line boundary, so a small fixed array
+	// removes a per-block heap allocation from the IAG loop (New
+	// validates the configured span fits).
+	Lines  [maxBlockLineSpan]LineFetch
+	NLines int
+	// Conds lists predicted-not-taken conditionals inside the block. The
+	// backing array is recycled through the front-end's condPool when
+	// the block dies.
 	Conds []CondRec
 	// TermCond is the TAGE bookkeeping for a conditional terminator.
 	TermCond tage.Prediction
@@ -110,17 +124,36 @@ type FrontEnd struct {
 
 	cycle        uint64
 	iagStallTill uint64
-	redir        *redirect
+	redir        redirect
+	hasRedir     bool
 
-	cur        *Block
+	// cur/hasCur and pending/hasPending are value slots, not pointers:
+	// storing &local in a struct field forces the local to escape, which
+	// used to heap-allocate once per decoded block and once per executed
+	// instruction.
+	cur        Block
+	hasCur     bool
 	curPC      uint64
 	idleStreak uint64
-	pending    *emu.Step
+	pending    emu.Step
+	hasPending bool
 	done       bool
 	err        error
 	scratch    []core.ShadowBranch
 	sbdTasks   []sbdTask
-	extraOffs  map[uint64][]uint8 // bogus SBB pcs, per line
+	// extraOffs registers SBB-inserted PCs that are not static branch
+	// starts as probe candidates: one bit per byte offset in the line
+	// (LineSize = 64). Bits are cleared through the SBB's OnRemove hook
+	// when the backing entry leaves the buffer, so the map tracks live
+	// SBB content instead of growing for the whole run. (In the SBDToBTB
+	// ablation there is no SBB to key off; the map then grows to the set
+	// of distinct shadow-decoded PCs, which the program size bounds.)
+	extraOffs map[uint64]uint64
+	// condPool recycles Conds backing arrays across dead blocks.
+	condPool [][]CondRec
+	// dcache memoizes shadow decodes (nil when disabled); invalidated by
+	// the L1-I eviction hook.
+	dcache *core.DecodeCache
 
 	// tr, when non-nil, observes re-steers, misses, and shadow-decode
 	// events; every emission site nil-checks it so a disabled trace
@@ -137,6 +170,9 @@ type FrontEnd struct {
 
 // New builds a front-end over a generated workload.
 func New(cfg Config, w *workload.Workload) (*FrontEnd, error) {
+	if cfg.MaxBlockLines+1 > maxBlockLineSpan {
+		return nil, fmt.Errorf("frontend: MaxBlockLines %d exceeds the supported span of %d lines", cfg.MaxBlockLines, maxBlockLineSpan-1)
+	}
 	l1i, err := cache.New(cfg.L1ISize, cfg.L1IWays, program.LineSize)
 	if err != nil {
 		return nil, fmt.Errorf("frontend: %w", err)
@@ -162,16 +198,22 @@ func New(cfg Config, w *workload.Workload) (*FrontEnd, error) {
 		q:         ftq.New[Block](cfg.FTQDepth),
 		specPC:    w.Prog.Entry,
 		entryTgt:  true,
-		extraOffs: make(map[uint64][]uint8),
+		extraOffs: make(map[uint64]uint64),
 	}
 	if cfg.Skia {
 		f.sbd = core.NewSBD(cfg.SBD)
+		if !cfg.NoDecodeCache {
+			f.dcache = core.NewDecodeCache(0, cfg.DecodeCacheDiff)
+			f.sbd.AttachCache(f.dcache)
+			f.l1i.OnEvict = f.dcache.InvalidateLine
+		}
 		if !cfg.SBDToBTB {
 			sbb, err := core.NewSBB(cfg.SBB)
 			if err != nil {
 				return nil, fmt.Errorf("frontend: %w", err)
 			}
 			f.sbb = sbb
+			f.sbb.OnRemove = f.pruneShadowOff
 		}
 	}
 	return f, nil
@@ -209,6 +251,13 @@ func (f *FrontEnd) SBB() *core.SBB { return f.sbb }
 
 // SBD exposes the shadow branch decoder (nil without Skia).
 func (f *FrontEnd) SBD() *core.SBD { return f.sbd }
+
+// DecodeCache exposes the shadow-decode memo (nil when disabled).
+func (f *FrontEnd) DecodeCache() *core.DecodeCache { return f.dcache }
+
+// ExtraOffLines reports how many lines currently carry SBB-discovered
+// probe candidates, for footprint tests.
+func (f *FrontEnd) ExtraOffLines() int { return len(f.extraOffs) }
 
 // SetTracer attaches (or, with nil, detaches) an event tracer. The
 // SBB's eviction hook is wired through to the same tracer.
@@ -296,7 +345,7 @@ func (f *FrontEnd) ResetStats() {
 
 // peek returns the next true-path step without consuming it.
 func (f *FrontEnd) peek() (emu.Step, bool) {
-	if f.pending == nil {
+	if !f.hasPending {
 		if f.em.Halted() {
 			f.done = true
 			return emu.Step{}, false
@@ -307,13 +356,73 @@ func (f *FrontEnd) peek() (emu.Step, bool) {
 			f.done = true
 			return emu.Step{}, false
 		}
-		f.pending = &st
+		f.pending = st
+		f.hasPending = true
 	}
-	return *f.pending, true
+	return f.pending, true
 }
 
 // consume advances past the peeked step.
-func (f *FrontEnd) consume() { f.pending = nil }
+func (f *FrontEnd) consume() { f.hasPending = false }
+
+// getConds hands out a recycled Conds backing array (nil when the pool
+// is empty; append grows it as before).
+func (f *FrontEnd) getConds() []CondRec {
+	if n := len(f.condPool); n > 0 {
+		s := f.condPool[n-1]
+		f.condPool = f.condPool[:n-1]
+		return s
+	}
+	return nil
+}
+
+// putConds returns a dead block's Conds storage to the pool. Each
+// backing array has exactly one owner at any time (local in formBlock,
+// then the FTQ slot, then f.cur), so recycle sites never double-free.
+func (f *FrontEnd) putConds(s []CondRec) {
+	if cap(s) > 0 {
+		f.condPool = append(f.condPool, s[:0])
+	}
+}
+
+// clearCur retires the current block, recycling its Conds storage. The
+// rest of f.cur is left intact: verification paths keep reading block
+// fields (never Conds) through a pointer after clearing it.
+func (f *FrontEnd) clearCur() {
+	if !f.hasCur {
+		return
+	}
+	f.putConds(f.cur.Conds)
+	f.cur.Conds = nil
+	f.hasCur = false
+}
+
+// flushFTQ squashes the queue, recycling every queued block's Conds
+// storage first.
+func (f *FrontEnd) flushFTQ() {
+	for i := 0; i < f.q.Len(); i++ {
+		if b, ok := f.q.At(i); ok {
+			f.putConds(b.Conds)
+		}
+	}
+	f.q.Flush()
+}
+
+// pruneShadowOff clears pc's probe-candidate bit once its SBB entry is
+// gone (wired to the SBB's OnRemove hook).
+func (f *FrontEnd) pruneShadowOff(pc uint64) {
+	la := program.LineAddr(pc)
+	m, ok := f.extraOffs[la]
+	if !ok {
+		return
+	}
+	m &^= 1 << program.LineOffset(pc)
+	if m == 0 {
+		delete(f.extraOffs, la)
+	} else {
+		f.extraOffs[la] = m
+	}
+}
 
 // Step advances the front-end by one cycle and returns the number of
 // true-path instructions decoded (delivered to the backend) this cycle.
@@ -322,7 +431,7 @@ func (f *FrontEnd) Step(maxDecode int) int {
 	f.cycle++
 
 	// 0. Apply a matured re-steer.
-	if f.redir != nil && f.cycle >= f.redir.applyAt {
+	if f.hasRedir && f.cycle >= f.redir.applyAt {
 		f.applyRedirect()
 	}
 
@@ -352,7 +461,7 @@ func (f *FrontEnd) Step(maxDecode int) int {
 	// a front-end modeling bug, so it is counted and surfaced.
 	if n == 0 && maxDecode > 0 {
 		f.idleStreak++
-		if f.idleStreak > 4096 && f.redir == nil {
+		if f.idleStreak > 4096 && !f.hasRedir {
 			if st, ok := f.peek(); ok {
 				f.stats.ForcedResyncs++
 				f.emit(metrics.EvForcedResync, st.Inst.PC, 0)
@@ -379,43 +488,50 @@ func (f *FrontEnd) scheduleRedirect(pc uint64, kind redirectKind, cause attrib.S
 	case redirectDecode:
 		f.stats.DecodeResteers++
 		f.emit(metrics.EvDecodeResteer, pc, 0)
-		f.q.Flush()
-		f.cur = nil
+		f.flushFTQ()
+		f.clearCur()
 		f.specPC = pc
 		f.entryTgt = true
-		f.rs.LoadFrom(f.em.StackCopy())
+		f.rs.LoadFrom(f.em.Stack())
 		f.tg.SyncSpec()
 		f.it.SyncSpec()
 		f.iagStallTill = f.cycle + uint64(f.cfg.DecodeResteerPenalty)
-		f.redir = &redirect{pc: pc, applyAt: f.cycle + uint64(f.cfg.DecodeResteerPenalty), kind: kind, cause: cause}
+		f.redir = redirect{pc: pc, applyAt: f.cycle + uint64(f.cfg.DecodeResteerPenalty), kind: kind, cause: cause}
+		f.hasRedir = true
 	case redirectExec:
 		f.stats.ExecResteers++
 		f.emit(metrics.EvExecResteer, pc, 0)
-		f.redir = &redirect{pc: pc, applyAt: f.cycle + uint64(f.cfg.ExecResteerPenalty), kind: kind, cause: cause}
+		f.redir = redirect{pc: pc, applyAt: f.cycle + uint64(f.cfg.ExecResteerPenalty), kind: kind, cause: cause}
+		f.hasRedir = true
 	}
 }
 
 // applyRedirect finishes a pending re-steer.
 func (f *FrontEnd) applyRedirect() {
 	r := f.redir
-	f.redir = nil
+	f.hasRedir = false
 	if r.kind == redirectExec {
-		f.q.Flush()
-		f.cur = nil
+		f.flushFTQ()
+		f.clearCur()
 		f.specPC = r.pc
 		f.entryTgt = true
-		f.rs.LoadFrom(f.em.StackCopy())
+		f.rs.LoadFrom(f.em.Stack())
 		f.tg.SyncSpec()
 		f.it.SyncSpec()
 	}
 	// Decode re-steers already redirected the IAG at schedule time.
 }
 
-// candidates returns the branch-site byte offsets to probe in a line:
-// the static branch starts plus any PCs the SBD has (possibly bogusly)
-// inserted.
-func (f *FrontEnd) candidates(lineAddr uint64) ([]uint8, []uint8) {
-	return f.w.BranchOffsets(lineAddr), f.extraOffs[lineAddr]
+// candidates returns the branch-site byte offsets to probe in a line as
+// a bitmask (bit i = byte offset i): the static branch starts plus any
+// PCs the SBD has (possibly bogusly) inserted. One OR replaces the
+// sorted-slice merge the scan used to allocate for.
+func (f *FrontEnd) candidates(lineAddr uint64) uint64 {
+	m := f.w.BranchMask(lineAddr)
+	if len(f.extraOffs) > 0 {
+		m |= f.extraOffs[lineAddr]
+	}
+	return m
 }
 
 // formBlock builds the next predicted basic block from specPC,
@@ -425,19 +541,16 @@ func (f *FrontEnd) formBlock() Block {
 	blk := Block{
 		Start:         f.specPC,
 		EntryIsTarget: f.entryTgt,
-		WrongPath:     f.redir != nil,
+		WrongPath:     f.hasRedir,
+		Conds:         f.getConds(),
 	}
 	pos := f.specPC
 
 scan:
 	for ln := 0; ln < f.cfg.MaxBlockLines; ln++ {
 		lineAddr := program.LineAddr(pos)
-		static, extra := f.candidates(lineAddr)
-		// Merge the two sorted-ish candidate lists; extras are few, so
-		// a simple two-cursor walk over static with extra checks keeps
-		// this allocation-free.
-		for _, off := range mergeOffsets(static, extra) {
-			pc := lineAddr + uint64(off)
+		for m := f.candidates(lineAddr); m != 0; m &= m - 1 {
+			pc := lineAddr + uint64(bits.TrailingZeros64(m))
 			if pc < pos {
 				continue
 			}
@@ -510,6 +623,11 @@ scan:
 	if blk.End <= blk.Start {
 		last = first
 	}
+	// A partial-tag alias can hand the IAG a far-away fall-through; the
+	// fetch model covers at most the inline line capacity.
+	if (last-first)/program.LineSize >= maxBlockLineSpan {
+		last = first + (maxBlockLineSpan-1)*program.LineSize
+	}
 	fillLat := 0
 	for la := first; la <= last; la += program.LineSize {
 		resident := f.l1i.Prefetch(la)
@@ -525,7 +643,8 @@ scan:
 				fillLat = lat
 			}
 		}
-		blk.Lines = append(blk.Lines, LineFetch{Addr: la, WasResident: resident})
+		blk.Lines[blk.NLines] = LineFetch{Addr: la, WasResident: resident}
+		blk.NLines++
 	}
 	blk.ReadyAt = f.cycle + uint64(f.cfg.FetchLatency) + uint64(fillLat)
 
@@ -629,33 +748,6 @@ func (f *FrontEnd) terminateViaBTB(blk *Block, pc uint64, e btb.Entry) bool {
 	return true
 }
 
-// mergeOffsets returns the union of two sorted offset lists. The common
-// case is extra == nil, which returns static unchanged.
-func mergeOffsets(static, extra []uint8) []uint8 {
-	if len(extra) == 0 {
-		return static
-	}
-	out := make([]uint8, 0, len(static)+len(extra))
-	i, j := 0, 0
-	for i < len(static) && j < len(extra) {
-		switch {
-		case static[i] < extra[j]:
-			out = append(out, static[i])
-			i++
-		case static[i] > extra[j]:
-			out = append(out, extra[j])
-			j++
-		default:
-			out = append(out, static[i])
-			i++
-			j++
-		}
-	}
-	out = append(out, static[i:]...)
-	out = append(out, extra[j:]...)
-	return out
-}
-
 // runSBDTasks executes shadow decodes whose latency has elapsed and
 // whose line is still L1-I resident, inserting results into the SBB.
 func (f *FrontEnd) runSBDTasks() {
@@ -715,30 +807,18 @@ func (f *FrontEnd) noteSBBInsert(sb core.ShadowBranch) {
 		f.stats.SBDBogusInserts++
 	}
 	la := program.LineAddr(sb.PC)
-	off := uint8(program.LineOffset(sb.PC))
-	for _, o := range f.w.BranchOffsets(la) {
-		if o == off {
-			return
-		}
+	bit := uint64(1) << program.LineOffset(sb.PC)
+	if f.w.BranchMask(la)&bit != 0 {
+		return
 	}
-	for _, o := range f.extraOffs[la] {
-		if o == off {
-			return
-		}
-	}
-	// Insert keeping the list sorted.
-	lst := append(f.extraOffs[la], off)
-	for i := len(lst) - 1; i > 0 && lst[i-1] > lst[i]; i-- {
-		lst[i-1], lst[i] = lst[i], lst[i-1]
-	}
-	f.extraOffs[la] = lst
+	f.extraOffs[la] |= bit
 }
 
 // lineResidency returns whether the line containing pc was resident
 // when blk was formed.
 func lineResidency(blk *Block, pc uint64) bool {
 	la := program.LineAddr(pc)
-	for _, lf := range blk.Lines {
+	for _, lf := range blk.Lines[:blk.NLines] {
 		if lf.Addr == la {
 			return lf.WasResident
 		}
@@ -808,11 +888,11 @@ func (f *FrontEnd) decode(max int) int {
 		if f.done {
 			return delivered
 		}
-		if f.redir != nil {
+		if f.hasRedir {
 			idle(f.redir.cause)
 			return delivered
 		}
-		if f.cur == nil {
+		if !f.hasCur {
 			head, ok := f.q.Peek()
 			if !ok {
 				idle(attrib.StallFTQEmpty)
@@ -825,6 +905,7 @@ func (f *FrontEnd) decode(max int) int {
 			blk, _ := f.q.Pop()
 			st, ok := f.peek()
 			if !ok {
+				f.putConds(blk.Conds)
 				return delivered
 			}
 			// Accept the block if the next true instruction lies inside
@@ -835,17 +916,21 @@ func (f *FrontEnd) decode(max int) int {
 			switch {
 			case pc < blk.Start:
 				// Stale block from before a squash; drop it.
+				f.putConds(blk.Conds)
 				continue
 			case blk.TakenPred && pc > blk.BranchPC:
 				// The straddling instruction swallowed the predicted
 				// terminator: the terminator entry is bogus.
-				f.cur = &blk
+				f.cur = blk
+				f.hasCur = true
 				f.phantom(pc)
 				continue
 			case !blk.TakenPred && pc >= blk.End:
+				f.putConds(blk.Conds)
 				continue
 			}
-			f.cur = &blk
+			f.cur = blk
+			f.hasCur = true
 			f.curPC = pc
 		}
 		st, ok := f.peek()
@@ -891,7 +976,7 @@ func (f *FrontEnd) decode(max int) int {
 // fill if any covered line missed the L1-I, otherwise riding the fixed
 // fetch pipeline.
 func fetchStall(blk *Block) attrib.StallKind {
-	for _, lf := range blk.Lines {
+	for _, lf := range blk.Lines[:blk.NLines] {
 		if !lf.WasResident {
 			return attrib.StallICacheMiss
 		}
@@ -915,14 +1000,14 @@ func (f *FrontEnd) phantom(truePC uint64) {
 	} else {
 		f.btb.Invalidate(f.cur.BranchPC)
 	}
-	f.cur = nil
+	f.clearCur()
 	f.scheduleRedirect(truePC, redirectDecode, cause)
 }
 
 // verifyTerminator checks the true outcome of the block's predicted
 // terminator and ends, re-steers, or trains accordingly.
 func (f *FrontEnd) verifyTerminator(st emu.Step) {
-	blk := f.cur
+	blk := &f.cur
 	in := st.Inst
 
 	// The terminator PC is a true boundary; the provider entry is only
@@ -943,7 +1028,7 @@ func (f *FrontEnd) verifyTerminator(st emu.Step) {
 		} else {
 			f.btb.Invalidate(blk.BranchPC)
 		}
-		f.cur = nil
+		f.clearCur()
 		if st.Taken {
 			f.countBTBMiss(blk, in, false)
 			f.insertBTB(in, st.NextPC)
@@ -975,7 +1060,7 @@ func (f *FrontEnd) verifyTerminator(st emu.Step) {
 			// Predicted taken, actually not taken: direction
 			// misprediction resolved at execute.
 			f.stats.CondMispredicts++
-			f.cur = nil
+			f.clearCur()
 			f.scheduleRedirect(st.NextPC, redirectExec, attrib.StallResteerMispredict)
 			return
 		}
@@ -1000,12 +1085,12 @@ func (f *FrontEnd) verifyTerminator(st emu.Step) {
 
 	if blk.Target == st.NextPC {
 		// Fully correct: move to the next block.
-		f.cur = nil
+		f.clearCur()
 		return
 	}
 
 	// Right branch, wrong target.
-	f.cur = nil
+	f.clearCur()
 	switch in.Class {
 	case isa.ClassDirectCond, isa.ClassDirectUncond, isa.ClassCall:
 		// The true target is encoded in the instruction: decode fixes
@@ -1027,7 +1112,7 @@ func (f *FrontEnd) verifyTerminator(st emu.Step) {
 // verifyMidBlock checks an instruction the IAG predicted to be
 // non-terminating (sequential, or a not-taken conditional).
 func (f *FrontEnd) verifyMidBlock(st emu.Step) {
-	blk := f.cur
+	blk := &f.cur
 	in := st.Inst
 
 	// Train recorded not-taken conditional predictions.
@@ -1038,7 +1123,7 @@ func (f *FrontEnd) verifyMidBlock(st emu.Step) {
 				// Identified, predicted not-taken, actually taken:
 				// direction misprediction, resolved at execute.
 				f.stats.CondMispredicts++
-				f.cur = nil
+				f.clearCur()
 				f.scheduleRedirect(st.NextPC, redirectExec, attrib.StallResteerMispredict)
 				return
 			}
@@ -1058,7 +1143,7 @@ func (f *FrontEnd) verifyMidBlock(st emu.Step) {
 	// target lookup also went wrong — absent identification is the root.
 	f.countBTBMiss(blk, in, false)
 	f.insertBTB(in, st.NextPC) // decode fills the BTB
-	f.cur = nil
+	f.clearCur()
 	switch in.Class {
 	case isa.ClassDirectUncond, isa.ClassCall:
 		// Target computable at decode: early re-steer.
@@ -1089,6 +1174,6 @@ func (f *FrontEnd) verifyMidBlock(st emu.Step) {
 func (f *FrontEnd) advanceWithin(st emu.Step) {
 	f.curPC = st.NextPC
 	if !f.cur.TakenPred && f.curPC >= f.cur.End {
-		f.cur = nil
+		f.clearCur()
 	}
 }

@@ -1,6 +1,7 @@
 package frontend
 
 import (
+	"math/bits"
 	"testing"
 
 	"repro/internal/emu"
@@ -299,7 +300,21 @@ func TestSBDToBTBAblation(t *testing.T) {
 	}
 }
 
-func TestMergeOffsets(t *testing.T) {
+func TestCandidateMaskMerge(t *testing.T) {
+	mask := func(offs ...uint8) uint64 {
+		var m uint64
+		for _, o := range offs {
+			m |= 1 << o
+		}
+		return m
+	}
+	iterate := func(m uint64) []uint8 {
+		var out []uint8
+		for ; m != 0; m &= m - 1 {
+			out = append(out, uint8(bits.TrailingZeros64(m)))
+		}
+		return out
+	}
 	cases := []struct {
 		static, extra, want []uint8
 	}{
@@ -310,7 +325,7 @@ func TestMergeOffsets(t *testing.T) {
 		{[]uint8{5}, []uint8{1}, []uint8{1, 5}},
 	}
 	for i, c := range cases {
-		got := mergeOffsets(c.static, c.extra)
+		got := iterate(mask(c.static...) | mask(c.extra...))
 		if len(got) != len(c.want) {
 			t.Errorf("case %d: got %v want %v", i, got, c.want)
 			continue

@@ -231,8 +231,12 @@ func (e *DecodeError) Error() string {
 	return fmt.Sprintf("isa: invalid instruction at %#x (byte %#02x): %s", e.PC, e.Byte, e.Reason)
 }
 
-func invalid(pc uint64, b byte, reason string) (Inst, error) {
-	return Inst{}, &DecodeError{PC: pc, Byte: b, Reason: reason}
+// fail is decode's non-allocating failure return: the offending byte
+// plus a static reason string. Decode wraps it in a *DecodeError for
+// callers that want a real error; TryDecode and LengthAt do not pay for
+// one.
+func fail(b byte, reason string) (Inst, byte, string) {
+	return Inst{}, b, reason
 }
 
 func le16(b []byte) int64 { return int64(int16(uint16(b[0]) | uint16(b[1])<<8)) }
@@ -250,20 +254,42 @@ func le32(b []byte) int64 {
 // fail, which is what gives the Shadow Branch Decoder's Path Validation
 // phase its pruning power (an invalid decode kills a candidate path).
 func Decode(code []byte, pc uint64) (Inst, error) {
+	in, b, reason := decode(code, pc)
+	if reason != "" {
+		return Inst{}, &DecodeError{PC: pc, Byte: b, Reason: reason}
+	}
+	return in, nil
+}
+
+// TryDecode is Decode without the error value: ok is false exactly where
+// Decode would return a *DecodeError. Decoders that treat failure as
+// data rather than an exceptional condition — the Shadow Branch
+// Decoder's path validation prunes candidate paths by failing decodes
+// millions of times per simulated window — use this entry point so the
+// common case never allocates.
+func TryDecode(code []byte, pc uint64) (Inst, bool) {
+	in, _, reason := decode(code, pc)
+	return in, reason == ""
+}
+
+// decode is the allocation-free core shared by Decode, TryDecode, and
+// LengthAt. A non-empty reason (always a static string literal) signals
+// failure, with b the offending byte.
+func decode(code []byte, pc uint64) (Inst, byte, string) {
 	if len(code) == 0 {
-		return invalid(pc, 0, "empty")
+		return fail(0, "empty")
 	}
 	i := 0
 	nprefix := 0
 	for i < len(code) && IsPrefix(code[i]) {
 		nprefix++
 		if nprefix > MaxPrefixes {
-			return invalid(pc, code[i], "too many prefixes")
+			return fail(code[i], "too many prefixes")
 		}
 		i++
 	}
 	if i >= len(code) {
-		return invalid(pc, code[i-1], "prefixes run off end")
+		return fail(code[i-1], "prefixes run off end")
 	}
 
 	in := Inst{PC: pc, NumPrefixes: uint8(nprefix)}
@@ -274,14 +300,14 @@ func Decode(code []byte, pc uint64) (Inst, error) {
 	// caller may index code[i : i+n].
 	need := func(n int) bool { return i+n <= len(code) }
 
-	finish := func(op Op, class Class) (Inst, error) {
+	finish := func(op Op, class Class) (Inst, byte, string) {
 		in.Op = op
 		in.Class = class
 		if i > MaxInstLen {
-			return invalid(pc, code[0], "instruction exceeds 15 bytes")
+			return fail(code[0], "instruction exceeds 15 bytes")
 		}
 		in.Len = uint8(i)
-		return in, nil
+		return in, 0, ""
 	}
 
 	// withMod decodes a mod byte plus displacement; returns ok.
@@ -326,7 +352,7 @@ func Decode(code []byte, pc uint64) (Inst, error) {
 	case op == 0x01 || op == 0x09 || op == 0x21 || op == 0x29 || op == 0x31 || op == 0x39:
 		// ALU reg/reg family (add/or/and/sub/xor/cmp) with mod byte.
 		if !withMod() {
-			return invalid(pc, op, "truncated alu modbyte")
+			return fail(op, "truncated alu modbyte")
 		}
 		if op == 0x39 {
 			return finish(OpTest, ClassSeq)
@@ -335,7 +361,7 @@ func Decode(code []byte, pc uint64) (Inst, error) {
 
 	case op == 0x81: // ALU r, imm32
 		if !withMod() || !need(4) {
-			return invalid(pc, op, "truncated alu imm32")
+			return fail(op, "truncated alu imm32")
 		}
 		in.Imm = le32(code[i:])
 		i += 4
@@ -343,7 +369,7 @@ func Decode(code []byte, pc uint64) (Inst, error) {
 
 	case op == 0x83: // ALU r, imm8
 		if !withMod() || !need(1) {
-			return invalid(pc, op, "truncated alu imm8")
+			return fail(op, "truncated alu imm8")
 		}
 		in.Imm = int64(int8(code[i]))
 		i++
@@ -351,13 +377,13 @@ func Decode(code []byte, pc uint64) (Inst, error) {
 
 	case op == 0x85: // TEST r, r
 		if !withMod() {
-			return invalid(pc, op, "truncated test modbyte")
+			return fail(op, "truncated test modbyte")
 		}
 		return finish(OpTest, ClassSeq)
 
 	case op == 0x88 || op == 0x8A: // STORE / LOAD byte with mod
 		if !withMod() {
-			return invalid(pc, op, "truncated mov8 modbyte")
+			return fail(op, "truncated mov8 modbyte")
 		}
 		if op == 0x88 {
 			return finish(OpStore, ClassSeq)
@@ -366,7 +392,7 @@ func Decode(code []byte, pc uint64) (Inst, error) {
 
 	case op == 0x89 || op == 0x8B: // STORE / LOAD word with mod
 		if !withMod() {
-			return invalid(pc, op, "truncated mov modbyte")
+			return fail(op, "truncated mov modbyte")
 		}
 		if op == 0x89 {
 			return finish(OpStore, ClassSeq)
@@ -375,14 +401,14 @@ func Decode(code []byte, pc uint64) (Inst, error) {
 
 	case op == 0x8D: // LEA r, [r+disp]
 		if !withMod() {
-			return invalid(pc, op, "truncated lea")
+			return fail(op, "truncated lea")
 		}
 		return finish(OpLea, ClassSeq)
 
 	case op >= 0xB0 && op <= 0xB7: // MOV r, imm8
 		in.Reg = op & 7
 		if !need(1) {
-			return invalid(pc, op, "truncated movi8")
+			return fail(op, "truncated movi8")
 		}
 		in.Imm = int64(int8(code[i]))
 		i++
@@ -391,7 +417,7 @@ func Decode(code []byte, pc uint64) (Inst, error) {
 	case op >= 0xB8 && op <= 0xBF: // MOV r, imm32
 		in.Reg = op & 7
 		if !need(4) {
-			return invalid(pc, op, "truncated movi32")
+			return fail(op, "truncated movi32")
 		}
 		in.Imm = le32(code[i:])
 		i += 4
@@ -399,7 +425,7 @@ func Decode(code []byte, pc uint64) (Inst, error) {
 
 	case op == 0xC6: // MOV [r+disp], imm8
 		if !withMod() || !need(1) {
-			return invalid(pc, op, "truncated store imm8")
+			return fail(op, "truncated store imm8")
 		}
 		in.Imm = int64(int8(code[i]))
 		i++
@@ -407,7 +433,7 @@ func Decode(code []byte, pc uint64) (Inst, error) {
 
 	case op == 0xC7: // MOV [r+disp], imm32
 		if !withMod() || !need(4) {
-			return invalid(pc, op, "truncated store imm32")
+			return fail(op, "truncated store imm32")
 		}
 		in.Imm = le32(code[i:])
 		i += 4
@@ -415,7 +441,7 @@ func Decode(code []byte, pc uint64) (Inst, error) {
 
 	case op >= 0x70 && op <= 0x7F: // Jcc rel8
 		if !need(1) {
-			return invalid(pc, op, "truncated jcc rel8")
+			return fail(op, "truncated jcc rel8")
 		}
 		in.Reg = op & 0xF // condition code
 		in.RelOff = int32(int8(code[i]))
@@ -424,7 +450,7 @@ func Decode(code []byte, pc uint64) (Inst, error) {
 
 	case op == 0xEB: // JMP rel8
 		if !need(1) {
-			return invalid(pc, op, "truncated jmp rel8")
+			return fail(op, "truncated jmp rel8")
 		}
 		in.RelOff = int32(int8(code[i]))
 		i++
@@ -432,7 +458,7 @@ func Decode(code []byte, pc uint64) (Inst, error) {
 
 	case op == 0xE9: // JMP rel32
 		if !need(4) {
-			return invalid(pc, op, "truncated jmp rel32")
+			return fail(op, "truncated jmp rel32")
 		}
 		in.RelOff = int32(le32(code[i:]))
 		i += 4
@@ -440,7 +466,7 @@ func Decode(code []byte, pc uint64) (Inst, error) {
 
 	case op == 0xE8: // CALL rel32
 		if !need(4) {
-			return invalid(pc, op, "truncated call rel32")
+			return fail(op, "truncated call rel32")
 		}
 		in.RelOff = int32(le32(code[i:]))
 		i += 4
@@ -451,7 +477,7 @@ func Decode(code []byte, pc uint64) (Inst, error) {
 
 	case op == 0xC2: // RET imm16
 		if !need(2) {
-			return invalid(pc, op, "truncated ret imm16")
+			return fail(op, "truncated ret imm16")
 		}
 		in.Imm = le16(code[i:])
 		i += 2
@@ -459,7 +485,7 @@ func Decode(code []byte, pc uint64) (Inst, error) {
 
 	case op == 0xFF: // indirect jmp/call through register, selected by reg field
 		if !need(1) {
-			return invalid(pc, op, "truncated indirect")
+			return fail(op, "truncated indirect")
 		}
 		m := code[i]
 		i++
@@ -470,21 +496,21 @@ func Decode(code []byte, pc uint64) (Inst, error) {
 		case 4:
 			return finish(OpJmpInd, ClassIndirect)
 		}
-		return invalid(pc, op, "undefined FF /reg extension")
+		return fail(op, "undefined FF /reg extension")
 
 	case op == 0xF4:
 		return finish(OpHalt, ClassSeq)
 
 	case op == 0x0F: // two-byte escape
 		if !need(1) {
-			return invalid(pc, op, "truncated 0F escape")
+			return fail(op, "truncated 0F escape")
 		}
 		op2 := code[i]
 		i++
 		switch {
 		case op2 >= 0x80 && op2 <= 0x8F: // Jcc rel32
 			if !need(4) {
-				return invalid(pc, op2, "truncated jcc rel32")
+				return fail(op2, "truncated jcc rel32")
 			}
 			in.Reg = op2 & 0xF
 			in.RelOff = int32(le32(code[i:]))
@@ -492,16 +518,16 @@ func Decode(code []byte, pc uint64) (Inst, error) {
 			return finish(OpJcc, ClassDirectCond)
 		case op2 == 0x1F: // long NOP: mod byte + displacement give 3-8 byte NOPs
 			if !withMod() {
-				return invalid(pc, op2, "truncated long nop")
+				return fail(op2, "truncated long nop")
 			}
 			return finish(OpNop, ClassSeq)
 		case op2 == 0x05:
 			return finish(OpSysEnter, ClassSeq)
 		}
-		return invalid(pc, op2, "undefined 0F opcode")
+		return fail(op2, "undefined 0F opcode")
 	}
 
-	return invalid(pc, op, "undefined opcode")
+	return fail(op, "undefined opcode")
 }
 
 // LengthAt is the boundary-only decoder used by the Shadow Branch
@@ -512,8 +538,8 @@ func LengthAt(code []byte, off int) int {
 	if off < 0 || off >= len(code) {
 		return 0
 	}
-	in, err := Decode(code[off:], 0)
-	if err != nil {
+	in, ok := TryDecode(code[off:], 0)
+	if !ok {
 		return 0
 	}
 	return int(in.Len)

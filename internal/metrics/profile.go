@@ -23,6 +23,11 @@ type Profiler struct {
 	// PprofAddr is a listen address (e.g. "localhost:6060") for the
 	// net/http/pprof debug server; empty disables it.
 	PprofAddr string
+	// MemProfileRate, when nonzero, overrides runtime.MemProfileRate
+	// before the run starts. Allocation audits set it to 1 so the heap
+	// profile attributes every allocation instead of a 512KB-interval
+	// sample; the default 0 leaves the runtime's setting untouched.
+	MemProfileRate int
 }
 
 // RegisterFlags installs the conventional flag names on fs.
@@ -31,6 +36,8 @@ func (p *Profiler) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&p.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
 	fs.StringVar(&p.Trace, "trace", "", "write a Go runtime execution trace to this file")
 	fs.StringVar(&p.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.IntVar(&p.MemProfileRate, "memprofilerate", 0,
+		"set runtime.MemProfileRate (1 = record every allocation; 0 = leave the runtime default)")
 }
 
 // Start begins the enabled hooks and returns a stop function to run at
@@ -38,6 +45,11 @@ func (p *Profiler) RegisterFlags(fs *flag.FlagSet) {
 // profile). The pprof HTTP server, if any, runs until the process
 // exits.
 func (p *Profiler) Start() (stop func() error, err error) {
+	if p.MemProfileRate > 0 {
+		// Must happen before the allocations of interest; Start runs
+		// ahead of any simulation work, which is early enough.
+		runtime.MemProfileRate = p.MemProfileRate
+	}
 	var cpuFile, traceFile *os.File
 	cleanup := func() {
 		if cpuFile != nil {

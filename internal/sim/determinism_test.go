@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+// determinismSpecs builds a small mixed suite: two benchmarks, each in
+// baseline and Skia configuration, enough to exercise workload-cache
+// sharing and concurrent scheduling in RunAll.
+func determinismSpecs() []RunSpec {
+	var specs []RunSpec
+	for _, bench := range []string{"voter", "noop"} {
+		for _, skia := range []bool{false, true} {
+			cfg := cpu.DefaultConfig()
+			label := bench + "/base"
+			if skia {
+				cfg = cpu.SkiaConfig()
+				label = bench + "/skia"
+			}
+			specs = append(specs, RunSpec{
+				Benchmark: bench,
+				Config:    cfg,
+				Warmup:    50_000,
+				Measure:   150_000,
+				Label:     label,
+			})
+		}
+	}
+	return specs
+}
+
+// TestRunAllDeterministicAcrossWorkers checks the property the whole
+// experiment pipeline rests on: simulation results depend only on the
+// specs, never on how RunAll schedules them. A serial run (Workers=1)
+// and a heavily concurrent run (Workers=8) must produce structurally
+// identical results — every statistic, not just the headline IPC.
+// Results carry no wall-clock fields, so reflect.DeepEqual is exact.
+func TestRunAllDeterministicAcrossWorkers(t *testing.T) {
+	serial := NewRunner()
+	serial.Workers = 1
+	parallel := NewRunner()
+	parallel.Workers = 8
+
+	specs := determinismSpecs()
+	rs, err := serial.RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := parallel.RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(rp) {
+		t.Fatalf("result counts differ: %d vs %d", len(rs), len(rp))
+	}
+	for i := range rs {
+		if !reflect.DeepEqual(rs[i], rp[i]) {
+			t.Errorf("spec %s: Workers=1 and Workers=8 results differ:\n  serial:   %+v\n  parallel: %+v",
+				specs[i].Label, rs[i], rp[i])
+		}
+	}
+}
+
+// TestRunRepeatable checks the same spec run twice on one runner gives
+// identical results (workload caching must not leak mutable state
+// between runs).
+func TestRunRepeatable(t *testing.T) {
+	r := NewRunner()
+	spec := quickSpec("rep", true)
+	a, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same spec, same runner, different results:\n  first:  %+v\n  second: %+v", a, b)
+	}
+}

@@ -23,18 +23,20 @@ type Workload struct {
 	// offset is not an instruction boundary on the canonical stream.
 	instIdx []int32
 	insts   []isa.Inst
-	// branchOffs maps a cache-line address to the sorted in-line byte
-	// offsets of branch instructions starting in that line. The IAG
+	// branchMask maps a cache-line address to a bitmask of the in-line
+	// byte offsets of branch instructions starting in that line. The IAG
 	// scan uses it to probe the BTB/SBB only at plausible branch sites,
 	// the software equivalent of the hardware's per-byte parallel probe.
-	branchOffs map[uint64][]uint8
+	branchMask map[uint64]uint64
 }
 
-// BranchOffsets returns the sorted branch start offsets within the line
-// at lineAddr (nil when the line holds no branches). The returned slice
-// is shared; callers must not mutate it.
-func (w *Workload) BranchOffsets(lineAddr uint64) []uint8 {
-	return w.branchOffs[lineAddr]
+// BranchMask returns the branch start offsets within the line at
+// lineAddr as a bitmask: bit i set means a branch instruction starts at
+// byte i. One word per line (LineSize = 64) lets the front end merge
+// canonical and shadow-discovered offsets with a single OR instead of a
+// sorted-slice merge.
+func (w *Workload) BranchMask(lineAddr uint64) uint64 {
+	return w.branchMask[lineAddr]
 }
 
 // InstAt returns the pre-decoded instruction starting at pc, if pc is an
@@ -48,6 +50,17 @@ func (w *Workload) InstAt(pc uint64) (isa.Inst, bool) {
 		return isa.Inst{}, false
 	}
 	return w.insts[idx], true
+}
+
+// InstIndex returns the canonical-stream index of the instruction at
+// pc, or -1 when pc is not a boundary. The index is dense in
+// [0, NumStaticInsts), letting per-site state live in a flat slice
+// instead of a PC-keyed map.
+func (w *Workload) InstIndex(pc uint64) int {
+	if !w.Prog.Contains(pc) {
+		return -1
+	}
+	return int(w.instIdx[pc-w.Prog.Base])
 }
 
 // NumStaticInsts returns the count of instructions on the canonical
@@ -199,12 +212,11 @@ func (w *Workload) buildInstIndex() error {
 		w.insts = append(w.insts, in)
 		off += int(in.Len)
 	}
-	w.branchOffs = make(map[uint64][]uint8)
+	w.branchMask = make(map[uint64]uint64)
 	for i := range w.insts {
 		in := &w.insts[i]
 		if in.Class.IsBranch() {
-			la := program.LineAddr(in.PC)
-			w.branchOffs[la] = append(w.branchOffs[la], uint8(program.LineOffset(in.PC)))
+			w.branchMask[program.LineAddr(in.PC)] |= 1 << program.LineOffset(in.PC)
 		}
 	}
 	return nil
