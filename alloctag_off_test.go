@@ -1,0 +1,7 @@
+//go:build !skiainvariants
+
+package repro
+
+// invariantsArmed mirrors the internal invariantsEnabled consts so
+// root-package tests can tell which build they are pinning.
+const invariantsArmed = false

@@ -1,0 +1,5 @@
+//go:build skiainvariants
+
+package repro
+
+const invariantsArmed = true

@@ -327,3 +327,23 @@ func BenchmarkFrontEndCycle_WithAttribution(b *testing.B) {
 	}
 	b.ReportMetric(float64(c.Retired())/float64(b.Elapsed().Seconds())/1e6, "Minsts/s")
 }
+
+// TestFrontEndCycleAllocBudget is the dynamic counterpart of the
+// //skia:noalloc annotations on the front-end cycle path: the static
+// check proves no compiler-reported escape sits inside an annotated
+// function, and this ratchet proves the composed steady-state loop
+// (1000 cycles per op) stays within one allocation per op — the
+// occasional map-growth rehash, nothing per-cycle. skiabench enforces
+// the same absolute budget on the frontend-cycle registry entry.
+func TestFrontEndCycleAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full benchmark")
+	}
+	if invariantsArmed {
+		t.Skip("skiainvariants assertions are noinline and cost a few allocs; the budget pins the default build")
+	}
+	r := testing.Benchmark(BenchmarkFrontEndCycle)
+	if a := r.AllocsPerOp(); a > 1 {
+		t.Fatalf("front-end cycle path allocates %d allocs/op (budget 1): a per-cycle allocation crept past the //skia:noalloc annotations", a)
+	}
+}

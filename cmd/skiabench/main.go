@@ -162,20 +162,25 @@ func benchExperiment(f func(experiments.Options) (*experiments.Report, error)) (
 }
 
 // registry lists every tracked benchmark in report order.
-func registry() []struct {
-	name string
-	run  func() (Entry, error)
-} {
+// regEntry is one registered benchmark. maxAllocs, when >= 0, is an
+// absolute allocs/op budget enforced on every run (no baseline file
+// needed): the steady-state front-end cycle path is annotated
+// //skia:noalloc and must stay allocation-free, so its budget is the
+// occasional map-growth rehash, not a percentage of a prior run.
+type regEntry struct {
+	name      string
+	run       func() (Entry, error)
+	maxAllocs int64
+}
+
+func registry() []regEntry {
 	noCache := cpu.SkiaConfig()
 	noCache.Frontend.NoDecodeCache = true
-	return []struct {
-		name string
-		run  func() (Entry, error)
-	}{
-		{"frontend-cycle", func() (Entry, error) { return benchCycle(cpu.SkiaConfig()) }},
-		{"frontend-cycle-nocache", func() (Entry, error) { return benchCycle(noCache) }},
-		{"frontend-cycle-baseline", func() (Entry, error) { return benchCycle(cpu.DefaultConfig()) }},
-		{"fig14-reduced", func() (Entry, error) { return benchExperiment(experiments.Fig14) }},
+	return []regEntry{
+		{"frontend-cycle", func() (Entry, error) { return benchCycle(cpu.SkiaConfig()) }, 1},
+		{"frontend-cycle-nocache", func() (Entry, error) { return benchCycle(noCache) }, -1},
+		{"frontend-cycle-baseline", func() (Entry, error) { return benchCycle(cpu.DefaultConfig()) }, 1},
+		{"fig14-reduced", func() (Entry, error) { return benchExperiment(experiments.Fig14) }, -1},
 	}
 }
 
@@ -240,6 +245,7 @@ func main() {
 		GOARCH:        runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
 	}
+	var budgetFails []string
 	for _, reg := range registry() {
 		if *match != "" && !strings.Contains(reg.name, *match) {
 			continue
@@ -251,6 +257,10 @@ func main() {
 			os.Exit(2)
 		}
 		e.Name = reg.name
+		if reg.maxAllocs >= 0 && e.AllocsPerOp > reg.maxAllocs {
+			budgetFails = append(budgetFails, fmt.Sprintf("%s: %d allocs/op exceeds the absolute budget of %d",
+				reg.name, e.AllocsPerOp, reg.maxAllocs))
+		}
 		env.Entries = append(env.Entries, e)
 	}
 	if err := stopProf(); err != nil {
@@ -305,5 +315,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "ok: within %.0f%% of %s\n", *maxRegress*100, *baseline)
+	}
+
+	if len(budgetFails) > 0 {
+		for _, f := range budgetFails {
+			fmt.Fprintf(os.Stderr, "BUDGET %s\n", f)
+		}
+		os.Exit(1)
 	}
 }

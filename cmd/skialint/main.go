@@ -1,0 +1,83 @@
+// Command skialint runs the simulator's invariant analyzers (detmap,
+// nondet, noalloc, conserve, statlock) over the module and exits
+// non-zero if any finding survives. It is the static half of the
+// determinism/conservation story: the runtime half is the
+// skiainvariants build tag.
+//
+// Usage:
+//
+//	skialint [-root dir] [-run a,b] [-list] [packages]
+//
+// With no package arguments (or "./..."), the whole module is
+// analyzed. Explicit directory arguments (relative to the module
+// root) restrict per-package analyzers to those packages; testdata
+// fixture directories are reachable only this way.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root (directory containing go.mod)")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *run != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "skialint: unknown analyzer %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	var dirs []string
+	for _, arg := range flag.Args() {
+		if arg == "./..." || arg == "..." {
+			continue // whole module, the default
+		}
+		dirs = append(dirs, strings.TrimPrefix(arg, "./"))
+	}
+
+	prog, err := lint.Load(*root, dirs...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skialint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunAnalyzers(prog, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skialint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "skialint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

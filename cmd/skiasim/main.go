@@ -155,6 +155,8 @@ func main() {
 	row("decode re-steers", "%d", fe.DecodeResteers)
 	row("execute re-steers", "%d", fe.ExecResteers)
 	row("cond mispredict MPKI", "%.2f", res.CondMPKI)
+	row("indirect / return mispredicts", "%d / %d", fe.IndirectMispredicts, fe.ReturnMispredicts)
+	row("stale BTB targets fixed at decode", "%d", fe.StaleBTBTarget)
 	row("decoder idle cycles", "%.1f%%", res.DecodeIdleFrac*100)
 	row("wrong-path FTQ blocks", "%d", fe.WrongPathBlocks)
 	if *skia {
@@ -169,6 +171,8 @@ func main() {
 		row("bogus SBB entries used", "%d", fe.BogusSBBUsed)
 		row("head regions (decoded/discarded)", "%d/%d",
 			res.SBD.HeadRegions, res.SBD.HeadDiscarded)
+		row("head / tail branches extracted", "%d / %d",
+			res.SBD.HeadBranches, res.SBD.TailBranches)
 		row("tail regions", "%d", res.SBD.TailRegions)
 	}
 	if *intervals > 0 {

@@ -65,9 +65,14 @@ func main() {
 		dist uint64
 		n    uint64
 	}
+	pcs := make([]uint64, 0, len(sumDist))
+	for pc := range sumDist {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
 	var hot, cold []site
-	for pc, s := range sumDist {
-		mean := s / refs[pc]
+	for _, pc := range pcs {
+		mean := sumDist[pc] / refs[pc]
 		if mean > retention {
 			cold = append(cold, site{pc, mean, refs[pc]})
 		} else {

@@ -124,7 +124,10 @@ func (k StallKind) String() string { return stallNames[k] }
 
 // lineShadow records which bytes of one cache line have ever been in
 // a shadow region: head bytes precede a mid-line block entry, tail
-// bytes follow a taken exit. One bit per byte (LineSize = 64).
+// bytes follow a taken exit. One bit per byte (LineSize = 64). Stored
+// by value in Engine.shadow so block formation never heap-allocates
+// when a new line is first noted (the //skia:noalloc budget of the
+// front-end's formBlock includes the inlined NoteHead/NoteTail).
 type lineShadow struct {
 	head, tail uint64
 }
@@ -140,12 +143,15 @@ const DefaultTopN = 10
 
 // Engine accumulates attribution state for one core. Create with
 // NewEngine, attach via cpu.Core.AttachAttribution, and read the
-// results with Summary after the run.
+// results with Summary after the run. Not safe for concurrent use:
+// attach one engine per core.
+//
+//skia:serial
 type Engine struct {
 	causes [NumCauses]uint64
 	stalls [NumStallKinds]uint64
 
-	shadow    map[uint64]*lineShadow
+	shadow    map[uint64]lineShadow
 	inserted  map[uint64]struct{}
 	offenders map[uint64]*offender
 
@@ -161,7 +167,7 @@ type Engine struct {
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
 	return &Engine{
-		shadow:    make(map[uint64]*lineShadow),
+		shadow:    make(map[uint64]lineShadow),
 		inserted:  make(map[uint64]struct{}),
 		offenders: make(map[uint64]*offender),
 	}
@@ -178,7 +184,9 @@ func (e *Engine) NoteHead(lineAddr uint64, entryOff int) {
 	if entryOff > program.LineSize {
 		entryOff = program.LineSize
 	}
-	e.line(lineAddr).head |= lowBits(entryOff)
+	ls := e.shadow[lineAddr]
+	ls.head |= lowBits(entryOff)
+	e.shadow[lineAddr] = ls
 }
 
 // NoteTail records that bytes [startOff, LineSize) of the line at
@@ -188,16 +196,9 @@ func (e *Engine) NoteTail(lineAddr uint64, startOff int) {
 	if startOff < 0 || startOff >= program.LineSize {
 		return
 	}
-	e.line(lineAddr).tail |= ^lowBits(startOff)
-}
-
-func (e *Engine) line(addr uint64) *lineShadow {
-	ls := e.shadow[addr]
-	if ls == nil {
-		ls = &lineShadow{}
-		e.shadow[addr] = ls
-	}
-	return ls
+	ls := e.shadow[lineAddr]
+	ls.tail |= ^lowBits(startOff)
+	e.shadow[lineAddr] = ls
 }
 
 // lowBits returns a mask of the n lowest bits (n in [0, 64]).
@@ -274,7 +275,7 @@ func (e *Engine) ClassifyMiss(pc uint64, class isa.Class, covered, resident, inS
 	case !resident:
 		cause = CauseNotResident
 	default:
-		if ls := e.shadow[program.LineAddr(pc)]; ls != nil {
+		if ls, ok := e.shadow[program.LineAddr(pc)]; ok {
 			bit := uint64(1) << uint(program.LineOffset(pc))
 			switch {
 			case ls.head&bit != 0:
@@ -376,6 +377,9 @@ type Summary struct {
 
 // Summary snapshots the engine's accumulated attribution.
 func (e *Engine) Summary() Summary {
+	if invariantsEnabled {
+		attribCheckInvariants(e)
+	}
 	s := Summary{
 		FTQOccupancy:    summarizeHist(&e.ftqOcc),
 		SBDValidPaths:   summarizeHist(&e.sbdPaths),

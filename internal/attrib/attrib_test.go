@@ -82,8 +82,8 @@ func TestNoteRegionBounds(t *testing.T) {
 	e.NoteHead(line, program.LineSize+5)   // clamped to whole line
 	e.NoteTail(line, program.LineSize)     // out of range: no-op
 	e.NoteTail(line, -1)                   // out of range: no-op
-	ls := e.shadow[line]
-	if ls == nil || ls.head != ^uint64(0) {
+	ls, ok := e.shadow[line]
+	if !ok || ls.head != ^uint64(0) {
 		t.Fatalf("clamped head mask = %#x, want all ones", ls.head)
 	}
 	if ls.tail != 0 {

@@ -1,0 +1,8 @@
+//go:build !skiainvariants
+
+package attrib
+
+// invariantsEnabled: see internal/core/invariants_off.go.
+const invariantsEnabled = false
+
+func attribCheckInvariants(*Engine) {}

@@ -293,11 +293,16 @@ func diffReport(res *Result, base, head *experiments.Report, opt Options) {
 			checkCell(res, id, key, col, a.Value, b.Value, opt)
 		}
 	}
+	var newOnly []string
 	for key := range newRows {
 		if !oldRowSeen[key] {
-			res.Warnings = append(res.Warnings,
-				fmt.Sprintf("%s: row [%s] only in new results", id, key))
+			newOnly = append(newOnly, key)
 		}
+	}
+	sort.Strings(newOnly)
+	for _, key := range newOnly {
+		res.Warnings = append(res.Warnings,
+			fmt.Sprintf("%s: row [%s] only in new results", id, key))
 	}
 	diffIntervals(res, base, head, opt)
 	diffAttribution(res, base, head, opt)

@@ -97,6 +97,7 @@ func NewDecodeCache(maxLines int, differential bool) *DecodeCache {
 func (c *DecodeCache) Stats() DecodeCacheStats { return c.stats }
 
 // lookup finds the memoized decode for (lineAddr, off, kind).
+//skia:noalloc
 func (c *DecodeCache) lookup(lineAddr uint64, off int, kind regionKind) (*cachedDecode, bool) {
 	ld := c.lines[lineAddr]
 	if ld != nil {
@@ -145,6 +146,9 @@ func (c *DecodeCache) record(lineAddr uint64, off int, kind regionKind, branches
 		e.branches = append(buf, branches...)
 	}
 	ld.entries = append(ld.entries, e)
+	if invariantsEnabled {
+		decodeCacheCheckInvariants(c)
+	}
 }
 
 // release returns a dropped line's storage to the free lists.
@@ -164,6 +168,7 @@ func (c *DecodeCache) release(ld *lineDecodes) {
 // hit and miss produce identical simulation results, so victim choice
 // affects only throughput, never output.
 func (c *DecodeCache) evictOne() {
+	//skia:detmap-ok arbitrary victim by design: hit and miss are result-identical, so order reaches throughput only
 	for addr, ld := range c.lines {
 		delete(c.lines, addr)
 		c.release(ld)

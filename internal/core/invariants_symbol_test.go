@@ -1,0 +1,51 @@
+package core
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInvariantSymbolPresence proves the build-tag pair at the linker
+// level: a binary built with -tags skiainvariants contains the
+// noinline checker symbol, and a default build does not (the stub is
+// inlined away and the linker drops it), so default builds are
+// assertion-free by construction, not by convention.
+func TestInvariantSymbolPresence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds probe binaries")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		tags string
+		want bool
+	}{
+		{"", false},
+		{"skiainvariants", true},
+	} {
+		bin := filepath.Join(t.TempDir(), "probe")
+		args := []string{"build", "-o", bin}
+		if tc.tags != "" {
+			args = append(args, "-tags", tc.tags)
+		}
+		args = append(args, "./cmd/skiasim")
+		cmd := exec.Command("go", args...)
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+		}
+		nm := exec.Command("go", "tool", "nm", bin)
+		out, err := nm.CombinedOutput()
+		if err != nil {
+			t.Fatalf("go tool nm: %v\n%s", err, out)
+		}
+		has := strings.Contains(string(out), "sbbCheckInvariants")
+		if has != tc.want {
+			t.Errorf("tags=%q: sbbCheckInvariants symbol present = %v, want %v", tc.tags, has, tc.want)
+		}
+	}
+}

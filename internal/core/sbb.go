@@ -211,6 +211,7 @@ func (s *SBB) rIndex(lineAddr uint64) (int, uint64) {
 
 // LookupU probes the U-SBB for a direct unconditional branch or call at
 // pc, refreshing LRU on hit.
+//skia:noalloc
 func (s *SBB) LookupU(pc uint64) (UEntry, bool) {
 	if len(s.uSets) == 0 {
 		return UEntry{}, false
@@ -230,6 +231,7 @@ func (s *SBB) LookupU(pc uint64) (UEntry, bool) {
 }
 
 // LookupR probes the R-SBB: does a return instruction start at pc?
+//skia:noalloc
 func (s *SBB) LookupR(pc uint64) bool {
 	if len(s.rSets) == 0 {
 		return false
@@ -294,6 +296,7 @@ func victimR(ways []rWay, retiredFirst bool) int {
 // Insert installs a shadow branch produced by the SBD. btbResident
 // reports whether the branch currently hits in the BTB (used only by
 // the FilterBTBResident ablation).
+//skia:noalloc
 func (s *SBB) Insert(sb ShadowBranch, btbResident bool) {
 	if s.cfg.FilterBTBResident && btbResident {
 		s.stats.FilteredBTBResident++
@@ -305,8 +308,12 @@ func (s *SBB) Insert(sb ShadowBranch, btbResident bool) {
 	case isa.ClassReturn:
 		s.insertR(sb.PC)
 	}
+	if invariantsEnabled {
+		sbbCheckInvariants(s)
+	}
 }
 
+//skia:noalloc
 func (s *SBB) insertU(sb ShadowBranch) {
 	if len(s.uSets) == 0 {
 		return
@@ -347,6 +354,7 @@ func (s *SBB) insertU(sb ShadowBranch) {
 	s.stats.UInserts++
 }
 
+//skia:noalloc
 func (s *SBB) insertR(pc uint64) {
 	if len(s.rSets) == 0 {
 		return

@@ -281,3 +281,39 @@ func TestResetStatsSBB(t *testing.T) {
 		t.Error("contents lost on stats reset")
 	}
 }
+
+// TestSBBStatsConservation drives both buffers past capacity and checks
+// the counter identities the conserve analyzer expects every exported
+// counter to participate in: each lookup is exactly one hit or miss,
+// and a buffer never evicts more entries than were inserted.
+func TestSBBStatsConservation(t *testing.T) {
+	s := tinySBB()
+	const n = 64 // 4x both buffers' capacity: evictions are guaranteed
+	for i := 0; i < n; i++ {
+		pc := uint64(0x1000 + i*64)
+		s.Insert(ShadowBranch{PC: pc, Class: isa.ClassDirectUncond, Target: pc + 0x100, Len: 2}, false)
+		s.Insert(ShadowBranch{PC: pc + 7, Class: isa.ClassReturn, Len: 1}, false)
+	}
+	const lookups = 2 * n
+	for i := 0; i < lookups; i++ {
+		pc := uint64(0x1000 + i*32)
+		s.LookupU(pc)
+		s.LookupR(pc + 7)
+	}
+	st := s.Stats()
+	if st.UInserts != n || st.RInserts != n {
+		t.Fatalf("inserts U=%d R=%d, want %d each", st.UInserts, st.RInserts, n)
+	}
+	if st.UHits+st.UMisses != lookups {
+		t.Errorf("U lookups not conserved: %d hits + %d misses != %d", st.UHits, st.UMisses, lookups)
+	}
+	if st.RHits+st.RMisses != lookups {
+		t.Errorf("R lookups not conserved: %d hits + %d misses != %d", st.RHits, st.RMisses, lookups)
+	}
+	if st.UEvictions == 0 || st.UEvictions > st.UInserts {
+		t.Errorf("U evictions %d outside (0, %d]", st.UEvictions, st.UInserts)
+	}
+	if st.REvictions == 0 || st.REvictions > st.RInserts {
+		t.Errorf("R evictions %d outside (0, %d]", st.REvictions, st.RInserts)
+	}
+}

@@ -182,6 +182,7 @@ func (d *SBD) ResetStats() { d.stats = SBDStats{} }
 // the line (the branch target that brought the line into the FTQ). It
 // appends extracted branches to dst and returns the result. A nil
 // return with no error means the region was discarded or empty.
+//skia:noalloc
 func (d *SBD) DecodeHead(line []byte, lineAddr uint64, entryOff int, dst []ShadowBranch) []ShadowBranch {
 	if !d.cfg.Head || entryOff <= 0 || entryOff > len(line) {
 		return dst
@@ -229,6 +230,7 @@ func (d *SBD) DecodeHead(line []byte, lineAddr uint64, entryOff int, dst []Shado
 // outcome flags, without touching d.stats or the OnHeadPaths hook. The
 // split exists so the decode cache can replay exactly the statistics a
 // fresh decode would have produced.
+//skia:noalloc
 func (d *SBD) headCore(line []byte, lineAddr uint64, entryOff int, dst []ShadowBranch) (out []ShadowBranch, nFam int, noValid, discarded bool) {
 	// Phase 1 — Index Computation: the length of the instruction
 	// starting at every byte offset in the region (0 = undecodable).
@@ -326,6 +328,7 @@ func (d *SBD) headCore(line []byte, lineAddr uint64, entryOff int, dst []ShadowB
 // unambiguous (the exiting branch's end is known), so decoding is a
 // single forward walk (Section 3.3). Decoding stops at an undecodable
 // byte or an instruction crossing the line end.
+//skia:noalloc
 func (d *SBD) DecodeTail(line []byte, lineAddr uint64, startOff int, dst []ShadowBranch) []ShadowBranch {
 	if !d.cfg.Tail || startOff < 0 || startOff >= len(line) {
 		return dst
@@ -352,6 +355,7 @@ func (d *SBD) DecodeTail(line []byte, lineAddr uint64, startOff int, dst []Shado
 
 // tailCore is DecodeTail's side-effect-free body: a single forward walk
 // appending extracted branches to dst, with no statistics updates.
+//skia:noalloc
 func (d *SBD) tailCore(line []byte, lineAddr uint64, startOff int, dst []ShadowBranch) []ShadowBranch {
 	for p := startOff; p < len(line); {
 		l := isa.LengthAt(line, p)
@@ -366,6 +370,7 @@ func (d *SBD) tailCore(line []byte, lineAddr uint64, startOff int, dst []ShadowB
 
 // extract decodes the instruction at line[off] and appends it to dst if
 // it is a shadow-eligible branch fully contained in the line.
+//skia:noalloc
 func (d *SBD) extract(line []byte, lineAddr uint64, off int, dst []ShadowBranch) []ShadowBranch {
 	in, ok := isa.TryDecode(line[off:], lineAddr+uint64(off))
 	if !ok {

@@ -410,6 +410,7 @@ func (f *FrontEnd) flushFTQ() {
 
 // pruneShadowOff clears pc's probe-candidate bit once its SBB entry is
 // gone (wired to the SBB's OnRemove hook).
+//skia:noalloc
 func (f *FrontEnd) pruneShadowOff(pc uint64) {
 	la := program.LineAddr(pc)
 	m, ok := f.extraOffs[la]
@@ -427,6 +428,7 @@ func (f *FrontEnd) pruneShadowOff(pc uint64) {
 // Step advances the front-end by one cycle and returns the number of
 // true-path instructions decoded (delivered to the backend) this cycle.
 // maxDecode lets the caller apply backpressure (ROB full).
+//skia:noalloc
 func (f *FrontEnd) Step(maxDecode int) int {
 	f.cycle++
 
@@ -526,6 +528,7 @@ func (f *FrontEnd) applyRedirect() {
 // a bitmask (bit i = byte offset i): the static branch starts plus any
 // PCs the SBD has (possibly bogusly) inserted. One OR replaces the
 // sorted-slice merge the scan used to allocate for.
+//skia:noalloc
 func (f *FrontEnd) candidates(lineAddr uint64) uint64 {
 	m := f.w.BranchMask(lineAddr)
 	if len(f.extraOffs) > 0 {
@@ -537,6 +540,7 @@ func (f *FrontEnd) candidates(lineAddr uint64) uint64 {
 // formBlock builds the next predicted basic block from specPC,
 // consulting BTB, SBB, TAGE, ITTAGE and RAS, issues its prefetches, and
 // schedules shadow decodes.
+//skia:noalloc
 func (f *FrontEnd) formBlock() Block {
 	blk := Block{
 		Start:         f.specPC,
@@ -707,6 +711,7 @@ scan:
 
 // terminateViaBTB handles a BTB hit during the scan. It returns true
 // when the block terminates at pc.
+//skia:noalloc
 func (f *FrontEnd) terminateViaBTB(blk *Block, pc uint64, e btb.Entry) bool {
 	switch e.Class {
 	case isa.ClassDirectCond:
@@ -750,6 +755,7 @@ func (f *FrontEnd) terminateViaBTB(blk *Block, pc uint64, e btb.Entry) bool {
 
 // runSBDTasks executes shadow decodes whose latency has elapsed and
 // whose line is still L1-I resident, inserting results into the SBB.
+//skia:noalloc
 func (f *FrontEnd) runSBDTasks() {
 	kept := f.sbdTasks[:0]
 	for _, t := range f.sbdTasks {
@@ -801,6 +807,7 @@ func (f *FrontEnd) runSBDTasks() {
 
 // noteSBBInsert tracks bogus inserts (oracle check) and registers the
 // PC as a probe candidate so the IAG scan can see it.
+//skia:noalloc
 func (f *FrontEnd) noteSBBInsert(sb core.ShadowBranch) {
 	in, ok := f.w.InstAt(sb.PC)
 	if !ok || in.Class != sb.Class {
@@ -830,6 +837,7 @@ func lineResidency(blk *Block, pc uint64) bool {
 // covered reports whether the SBB supplied the branch in time (the
 // block steered through it with matching class, so no re-steer was
 // paid); it feeds the attribution taxonomy.
+//skia:noalloc
 func (f *FrontEnd) countBTBMiss(blk *Block, in isa.Inst, covered bool) {
 	switch in.Class {
 	case isa.ClassDirectCond:
@@ -862,6 +870,7 @@ func (f *FrontEnd) insertBTB(in isa.Inst, target uint64) {
 // decode verifies up to max instructions of the predicted stream
 // against the true stream and returns how many true-path instructions
 // were delivered.
+//skia:noalloc
 func (f *FrontEnd) decode(max int) int {
 	if max > f.cfg.DecodeWidth {
 		max = f.cfg.DecodeWidth

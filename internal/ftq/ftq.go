@@ -38,6 +38,9 @@ func (q *Queue[T]) Empty() bool { return q.count == 0 }
 
 // Push appends an element; it reports false when the queue is full.
 func (q *Queue[T]) Push(v T) bool {
+	if invariantsEnabled {
+		ftqCheckInvariants(q)
+	}
 	if q.Full() {
 		return false
 	}
@@ -57,6 +60,9 @@ func (q *Queue[T]) Peek() (T, bool) {
 
 // Pop removes and returns the oldest element.
 func (q *Queue[T]) Pop() (T, bool) {
+	if invariantsEnabled {
+		ftqCheckInvariants(q)
+	}
 	var zero T
 	if q.count == 0 {
 		return zero, false

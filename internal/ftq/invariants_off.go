@@ -1,0 +1,8 @@
+//go:build !skiainvariants
+
+package ftq
+
+// invariantsEnabled: see internal/core/invariants_off.go.
+const invariantsEnabled = false
+
+func ftqCheckInvariants[T any](*Queue[T]) {}

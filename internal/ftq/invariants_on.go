@@ -1,0 +1,22 @@
+//go:build skiainvariants
+
+package ftq
+
+import "fmt"
+
+// invariantsEnabled: see internal/core/invariants_on.go.
+const invariantsEnabled = true
+
+// ftqCheckInvariants panics if the ring drifted out of bounds: the
+// element count must stay within capacity and the head index within
+// the backing array.
+//
+//go:noinline
+func ftqCheckInvariants[T any](q *Queue[T]) {
+	if q.count < 0 || q.count > len(q.buf) {
+		panic(fmt.Sprintf("skiainvariants: FTQ count %d outside [0, %d]", q.count, len(q.buf)))
+	}
+	if q.head < 0 || q.head >= len(q.buf) {
+		panic(fmt.Sprintf("skiainvariants: FTQ head %d outside [0, %d)", q.head, len(q.buf)))
+	}
+}

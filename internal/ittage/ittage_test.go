@@ -177,3 +177,29 @@ func BenchmarkPredictUpdate(b *testing.B) {
 		p.SyncSpec()
 	}
 }
+
+// TestStatsConservation cycles one indirect branch through rotating
+// targets and checks counter sanity: mispredicts bounded by predicts,
+// and target churn forces tagged-entry allocations.
+func TestStatsConservation(t *testing.T) {
+	p := New(smallConfig())
+	const n = 500
+	for i := 0; i < n; i++ {
+		pc := uint64(0x100)
+		pred := p.Predict(pc)
+		tgt := uint64(0x1000 + uint64(i%7)*16)
+		p.Update(pc, pred, tgt)
+		p.ArchPush(pc, tgt)
+		p.SyncSpec()
+	}
+	s := p.Stats()
+	if s.Predicts != n {
+		t.Fatalf("predicts = %d, want %d", s.Predicts, n)
+	}
+	if s.Mispredicts > s.Predicts {
+		t.Errorf("mispredicts %d exceed predicts %d", s.Mispredicts, s.Predicts)
+	}
+	if s.Allocations == 0 {
+		t.Error("target churn allocated no tagged entries")
+	}
+}

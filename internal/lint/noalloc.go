@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// NoAllocAnalyzer enforces the `//skia:noalloc` directive: a function
+// so annotated is a simulation hot path (the per-cycle front-end loop,
+// shadow-decode memo lookups, SBB/BTB probes) and must not contain a
+// compiler-reported heap escape. The check runs the annotated
+// packages through `go build -gcflags=-m` and maps every
+// "escapes to heap" / "moved to heap" diagnostic back to the enclosing
+// annotated function, turning the hot-path allocation audit into a
+// ratchet: a future change that re-introduces a per-cycle allocation
+// fails lint instead of silently regressing benchmark throughput.
+//
+// Directive grammar (see the package doc): the line `//skia:noalloc`
+// anywhere in a function's doc comment. It applies to that function's
+// body only — not to callees — so annotate each function on the hot
+// path. The dynamic complement is the BenchmarkFrontEndCycle
+// allocs/op budget in bench_test.go.
+var NoAllocAnalyzer = &Analyzer{
+	Name:       "noalloc",
+	Doc:        "forbids compiler-reported heap escapes inside //skia:noalloc functions",
+	RunProgram: runNoAlloc,
+}
+
+// noallocSpan is one annotated function's file extent.
+type noallocSpan struct {
+	pkg      *Package
+	name     string
+	file     string // absolute path
+	from, to int    // line range of the body, inclusive
+	pos      token.Pos
+}
+
+func runNoAlloc(pass *ProgramPass) error {
+	spans, pkgs := noallocSpans(pass)
+	if len(spans) == 0 {
+		return nil
+	}
+	out, err := escapeOutput(pass.Prog, pkgs)
+	if err != nil {
+		return err
+	}
+	for _, d := range parseEscapes(pass.Prog.Dir, out) {
+		for _, sp := range spans {
+			if d.file == sp.file && d.line >= sp.from && d.line <= sp.to {
+				pass.Reportf(sp.pos, "//skia:noalloc function %s has a heap escape at %s:%d: %s", sp.name, filepath.Base(d.file), d.line, d.msg)
+			}
+		}
+	}
+	return nil
+}
+
+// noallocSpans collects every annotated function and the package set
+// owning them.
+func noallocSpans(pass *ProgramPass) ([]noallocSpan, []*Package) {
+	var spans []noallocSpan
+	var pkgs []*Package
+	for _, pkg := range pass.Packages {
+		had := false
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !hasDirective(fn.Doc, "//skia:noalloc") {
+					continue
+				}
+				fset := pass.Prog.Fset
+				spans = append(spans, noallocSpan{
+					pkg:  pkg,
+					name: funcDisplayName(fn),
+					file: fset.Position(fn.Pos()).Filename,
+					from: fset.Position(fn.Body.Pos()).Line,
+					to:   fset.Position(fn.Body.End()).Line,
+					pos:  fn.Pos(),
+				})
+				had = true
+			}
+		}
+		if had {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return spans, pkgs
+}
+
+// funcDisplayName renders "(*FrontEnd).Step" or "TryDecode".
+func funcDisplayName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	recv := fn.Recv.List[0].Type
+	var b strings.Builder
+	switch t := recv.(type) {
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			fmt.Fprintf(&b, "(*%s)", id.Name)
+		}
+	case *ast.Ident:
+		b.WriteString(t.Name)
+	}
+	if b.Len() == 0 {
+		b.WriteString("recv")
+	}
+	return b.String() + "." + fn.Name.Name
+}
+
+// escapeOutput runs the compiler's escape analysis over the packages
+// and returns its combined diagnostics. The go command caches and
+// replays compiler output, so warm-cache runs still produce the full
+// -m stream; if the build fails the error surfaces here.
+func escapeOutput(prog *Program, pkgs []*Package) (string, error) {
+	args := []string{"build", "-gcflags=-m=1"}
+	for _, pkg := range pkgs {
+		rel, err := filepath.Rel(prog.Dir, pkg.Dir)
+		if err != nil {
+			return "", err
+		}
+		args = append(args, "./"+filepath.ToSlash(rel))
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = prog.Dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	if !strings.Contains(string(out), ":") {
+		// Defensive: if the toolchain ever stops replaying cached
+		// compiler output, force a rebuild so escapes are not missed.
+		cmd = exec.Command("go", append([]string{args[0], "-a"}, args[1:]...)...)
+		cmd.Dir = prog.Dir
+		out, err = cmd.CombinedOutput()
+		if err != nil {
+			return "", fmt.Errorf("lint: go build -a: %v\n%s", err, out)
+		}
+	}
+	return string(out), nil
+}
+
+// escapeDiag is one heap-escape line of -m output.
+type escapeDiag struct {
+	file string
+	line int
+	msg  string
+}
+
+// parseEscapes extracts heap-escape diagnostics from -m output,
+// resolving file paths against the module root.
+func parseEscapes(root, out string) []escapeDiag {
+	var ds []escapeDiag
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		if strings.Contains(line, "does not escape") {
+			continue
+		}
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) < 4 {
+			continue
+		}
+		ln, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		file := parts[0]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		ds = append(ds, escapeDiag{file: filepath.Clean(file), line: ln, msg: strings.TrimSpace(parts[3])})
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].file != ds[j].file {
+			return ds[i].file < ds[j].file
+		}
+		return ds[i].line < ds[j].line
+	})
+	return ds
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StatLockAnalyzer enforces the `//skia:serial` directive: a struct so
+// annotated is documented single-goroutine (the per-core metrics
+// collector, the attribution engine) and values of that type must not
+// leak into concurrently running code. Two patterns are flagged:
+//
+//   - a `go func() { ... }()` literal that captures a serial-typed
+//     variable from the enclosing scope, unless the literal body
+//     visibly acquires a lock (calls a method named Lock/RLock);
+//   - a `go f(x)` launch that passes a serial-typed value as an
+//     argument (the callee's body is out of view, so locking cannot be
+//     verified).
+//
+// A launch that is known-safe (e.g. the goroutine owns the value
+// exclusively) can be annotated `//skia:statlock-ok <justification>`
+// on the line above the go statement.
+var StatLockAnalyzer = &Analyzer{
+	Name: "statlock",
+	Doc:  "forbids handing //skia:serial (single-goroutine) values to goroutines without a lock",
+	Run:  runStatLock,
+}
+
+func runStatLock(pass *Pass) error {
+	serial := serialTypes(pass.Pkg)
+	// Serial types imported from other module packages count too: walk
+	// the whole program's packages for annotations.
+	for _, pkg := range pass.Prog.Packages {
+		if pkg != pass.Pkg {
+			for tn := range serialTypes(pkg) {
+				serial[tn] = true
+			}
+		}
+	}
+	if len(serial) == 0 {
+		return nil
+	}
+
+	isSerial := func(t types.Type) bool {
+		if named := namedOf(t); named != nil {
+			return serial[named.Obj()]
+		}
+		return false
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lineDirective(pass.Pkg, file, g.Pos(), "//skia:statlock-ok") {
+				return true
+			}
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				checkGoLiteral(pass, g, lit, isSerial)
+			} else {
+				for _, arg := range g.Call.Args {
+					tv, ok := pass.Pkg.Info.Types[arg]
+					if ok && isSerial(tv.Type) {
+						pass.Reportf(g.Pos(), "go statement passes //skia:serial value of type %s to a goroutine: serial collectors are single-goroutine by contract; guard with a mutex or annotate //skia:statlock-ok", typeName(tv.Type))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoLiteral flags serial-typed captures inside a `go func(){...}()`
+// literal body that does not visibly lock.
+func checkGoLiteral(pass *Pass, g *ast.GoStmt, lit *ast.FuncLit, isSerial func(types.Type) bool) {
+	if locksInside(pass.Pkg.Info, lit) {
+		return
+	}
+	info := pass.Pkg.Info
+	reported := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || reported[obj] {
+			return true
+		}
+		// Captured = declared outside the literal.
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		if isSerial(obj.Type()) {
+			reported[obj] = true
+			pass.Reportf(id.Pos(), "goroutine captures //skia:serial value %s (type %s) without a lock: serial collectors are single-goroutine by contract; guard with a mutex or annotate //skia:statlock-ok on the go statement", obj.Name(), typeName(obj.Type()))
+		}
+		return true
+	})
+	// Arguments to the immediate call also escape into the goroutine.
+	for _, arg := range g.Call.Args {
+		tv, ok := info.Types[arg]
+		if ok && isSerial(tv.Type) {
+			pass.Reportf(arg.Pos(), "goroutine receives //skia:serial value of type %s as an argument without a lock", typeName(tv.Type))
+		}
+	}
+}
+
+// locksInside reports whether the func literal's body calls a method
+// named Lock or RLock — the visible-synchronization escape hatch.
+func locksInside(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// serialTypes collects the package's struct types annotated
+// //skia:serial (directive in the type's doc comment).
+func serialTypes(pkg *Package) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if !hasDirective(doc, "//skia:serial") {
+					continue
+				}
+				if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+					out[tn] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// typeName renders a type for diagnostics, preferring the named form.
+func typeName(t types.Type) string {
+	if named := namedOf(t); named != nil {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

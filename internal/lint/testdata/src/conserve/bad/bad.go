@@ -1,0 +1,28 @@
+// Package bad holds conserve failing cases: a counter bumped but
+// never exported, a hook with no consumer, and a hook consumed by a
+// do-nothing literal — the extraOffs-leak bug class.
+package bad
+
+// FooStats mirrors the dead-counter findings this analyzer surfaced
+// in the real tree (SBBStats.REvictions and friends).
+type FooStats struct {
+	Used uint64
+	Dead uint64 // want `incremented but never read`
+}
+
+// Probe carries two unconsumed hooks.
+type Probe struct {
+	OnDrop func(pc uint64) // want `never registered`
+	OnNoop func(pc uint64) // want `never registered`
+}
+
+func bump(s *FooStats) {
+	s.Used++
+	s.Dead++
+}
+
+func export(s *FooStats) uint64 { return s.Used }
+
+func wire(p *Probe) {
+	p.OnNoop = func(pc uint64) {} // want `empty func literal`
+}

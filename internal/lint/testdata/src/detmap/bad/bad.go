@@ -1,0 +1,46 @@
+// Package bad holds detmap failing cases: map-range loops whose
+// effects depend on Go's randomized iteration order.
+package bad
+
+import "fmt"
+
+// diffRows is the regression fixture for the compare.diffReport bug
+// fixed alongside this analyzer: warnings accumulated in map order
+// made report diffs flap between bit-identical runs.
+func diffRows(newRows map[string]int, seen map[string]bool) []string {
+	var warnings []string
+	for key := range newRows { // want `appends to warnings`
+		if !seen[key] {
+			warnings = append(warnings, fmt.Sprintf("row %s only in new results", key))
+		}
+	}
+	return warnings
+}
+
+func firstKey(m map[string]int) string {
+	for k := range m { // want `returns from inside the loop`
+		return k
+	}
+	return ""
+}
+
+func tally(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `writes sum`
+		sum += v
+	}
+	return sum
+}
+
+func countdown(m map[string]int, n *int) {
+	for range m { // want `updates counter`
+		(*n)--
+	}
+}
+
+func drainOther(m, other map[string]int) {
+	for k := range m { // want `deletes from other`
+		_ = k
+		delete(other, "fixed")
+	}
+}

@@ -1,0 +1,15 @@
+// Package bad holds the noalloc failing case: an annotated hot-path
+// function with a compiler-reported heap escape. This is the
+// regression fixture for the attribution lineShadow fix: a value that
+// belongs in a map by value was boxed per call instead.
+package bad
+
+// Sink keeps escaped pointers reachable so the escape is genuine.
+var Sink *int
+
+//skia:noalloc
+func Leak(v int) { // want `heap escape`
+	p := new(int)
+	*p = v
+	Sink = p
+}

@@ -1,0 +1,20 @@
+// Package good holds noalloc passing cases: an annotated function
+// that stays on the stack, and an unannotated one that may allocate
+// freely.
+package good
+
+//skia:noalloc
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Boxed is not annotated: the allocation is fine.
+func Boxed(v int) *int {
+	p := new(int)
+	*p = v
+	return p
+}

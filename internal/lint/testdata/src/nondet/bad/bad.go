@@ -1,0 +1,25 @@
+// Package bad holds nondet failing cases: ambient nondeterminism in
+// what the analyzer treats as a simulation package.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() float64 {
+	return rand.Float64() // want `global RNG rand.Float64`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global RNG rand.Shuffle`
+}
+
+func stamp() int64 {
+	now := time.Now() // want `wall-clock read time.Now`
+	return now.UnixNano()
+}
+
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want `wall-clock read time.Since`
+}

@@ -1,0 +1,22 @@
+// Package good holds nondet passing cases: seeded RNG threading and
+// the annotated wall-clock escape for throughput observability.
+package good
+
+import (
+	"math/rand"
+	"time"
+)
+
+// seeded is the required workload pattern: behavior is a pure function
+// of the seed.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// wallClockForTimingOnly mirrors the sim.Runner timing bracket: the
+// value feeds instructions-per-second reporting, never simulated state.
+func wallClockForTimingOnly() time.Time {
+	//skia:nondet-ok feeds throughput reporting only
+	return time.Now()
+}

@@ -1,0 +1,25 @@
+// Package bad holds statlock failing cases: //skia:serial values
+// handed to goroutines without visible synchronization.
+package bad
+
+// Collector is single-goroutine by contract, like metrics.Collector.
+//
+//skia:serial
+type Collector struct {
+	hits uint64
+}
+
+func (c *Collector) bump() { c.hits++ }
+
+func spawnCapture(c *Collector) {
+	done := make(chan struct{})
+	go func() {
+		c.bump() // want `captures //skia:serial value c`
+		close(done)
+	}()
+	<-done
+}
+
+func spawnArg(c *Collector, work func(*Collector)) {
+	go work(c) // want `passes //skia:serial value`
+}

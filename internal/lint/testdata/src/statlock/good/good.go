@@ -1,0 +1,36 @@
+// Package good holds statlock passing cases: mutex-guarded access and
+// the annotated exclusive-ownership escape.
+package good
+
+import "sync"
+
+//skia:serial
+type Collector struct {
+	mu   sync.Mutex
+	hits uint64
+}
+
+// lockedSpawn guards every touch with the collector's own mutex.
+func lockedSpawn(c *Collector) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+	}()
+	wg.Wait()
+}
+
+// annotated mirrors sim.RunAll: the goroutine owns the value
+// exclusively for its whole lifetime.
+func annotated(c *Collector) {
+	done := make(chan struct{})
+	//skia:statlock-ok the goroutine takes exclusive ownership for the run
+	go func() {
+		c.hits++
+		close(done)
+	}()
+	<-done
+}

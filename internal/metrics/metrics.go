@@ -113,6 +113,8 @@ type Interval struct {
 // interval boundary and Finish once at the end of the measurement
 // window; the collector differences each sample against the previous
 // one. Not safe for concurrent use: attach one collector per core.
+//
+//skia:serial
 type Collector struct {
 	every uint64
 	next  uint64

@@ -232,6 +232,7 @@ func (r *Runner) Stats() RunnerStats {
 // Run executes one simulation: build core, warm up, reset statistics,
 // measure.
 func (r *Runner) Run(spec RunSpec) (Result, error) {
+	//skia:nondet-ok wall-clock brackets the run for throughput reporting; no simulated state depends on it
 	start := time.Now()
 	w, err := r.Workload(spec.Benchmark)
 	if err != nil {
@@ -292,6 +293,7 @@ func (r *Runner) Run(spec RunSpec) (Result, error) {
 		atSum = &s
 		out.Attribution = atSum
 	}
+	//skia:nondet-ok wall-clock closes the throughput window opened above; no simulated state depends on it
 	r.record(spec, warm+meas, start, time.Now(), col, atSum)
 	return out, nil
 }

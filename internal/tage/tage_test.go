@@ -327,3 +327,34 @@ func BenchmarkPredictUpdate(b *testing.B) {
 		}
 	}
 }
+
+// TestStatsConservation trains on an unpredictable stream and checks
+// the counter identities that make the stats exportable: mispredicts
+// never exceed predicts, overrides never exceed predicts, and a
+// misprediction-heavy stream allocates tagged entries.
+func TestStatsConservation(t *testing.T) {
+	p := New(smallConfig())
+	rng := rand.New(rand.NewSource(7))
+	const n = 2000
+	for i := 0; i < n; i++ {
+		pc := uint64(0x40 + (i%13)*4)
+		pred := p.Predict(pc)
+		taken := rng.Intn(2) == 1
+		p.Update(pc, pred, taken)
+		p.ArchPush(taken, pc)
+		p.SyncSpec()
+	}
+	s := p.Stats()
+	if s.Predicts != n {
+		t.Fatalf("predicts = %d, want %d", s.Predicts, n)
+	}
+	if s.Mispredicts > s.Predicts {
+		t.Errorf("mispredicts %d exceed predicts %d", s.Mispredicts, s.Predicts)
+	}
+	if s.LoopOverrides+s.SCOverrides > s.Predicts {
+		t.Errorf("overrides %d+%d exceed predicts %d", s.LoopOverrides, s.SCOverrides, s.Predicts)
+	}
+	if s.Allocations == 0 {
+		t.Error("random-direction training allocated no tagged entries")
+	}
+}
