@@ -1,0 +1,312 @@
+// Command skiactl drives a skiaserve sweep service: it submits N jobs
+// over C concurrent clients, retries submissions on backpressure
+// (429/5xx) with jittered exponential backoff, consumes each job's
+// NDJSON result stream to its final manifest, and reports client-side
+// latency percentiles (p50/p90/p99/max). With -out it aggregates the
+// returned report envelopes into a directory in the same
+// manifest.json format cmd/skiaexp -out writes, so cmd/skiacmp and
+// other downstream tooling read service results and batch results
+// identically.
+//
+// Usage:
+//
+//	skiactl -addr http://127.0.0.1:8344 -exp table1 -n 100 -c 8
+//	skiactl -addr $URL -exp fig14 -n 32 -c 32 \
+//	    -benchmarks noop,voter -warmup 20000 -measure 100000 \
+//	    -out results/ -journal streams.ndjson -max-p99 60s
+//
+// Exit status is nonzero if any job fails (or is lost: every accepted
+// job must deliver exactly one manifest) or the -max-p99 gate is
+// exceeded — the contract the CI service smoke job relies on.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/serve"
+)
+
+// jobOutcome is one journal row: what happened to one submitted job,
+// written as NDJSON for CI artifacts.
+type jobOutcome struct {
+	Seq            int     `json:"seq"`
+	JobID          string  `json:"job_id,omitempty"`
+	Experiment     string  `json:"experiment"`
+	Status         string  `json:"status"`
+	Rows           int     `json:"rows"`
+	LatencySeconds float64 `json:"latency_seconds"`
+	Error          string  `json:"error,omitempty"`
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8344", "skiaserve base URL")
+		exp     = flag.String("exp", "table1", "experiment id(s), comma-separated; jobs round-robin across them")
+		n       = flag.Int("n", 1, "total jobs to submit")
+		conc    = flag.Int("c", 1, "concurrent clients")
+		warmup  = flag.Uint64("warmup", 0, "warmup instructions per run (0 = default)")
+		measure = flag.Uint64("measure", 0, "measured instructions per run (0 = default)")
+		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: full suite)")
+		interval = flag.Uint64("intervals", 0, "collect interval metrics every N retired instructions (0 = off)")
+		attrib   = flag.Bool("attrib", false, "enable per-cause miss attribution")
+		timeout  = flag.Float64("job-timeout", 0, "per-job timeout_seconds (0 = server default)")
+		outDir   = flag.String("out", "", "aggregate report envelopes + manifest.json into this directory (skiaexp -out format)")
+		journal  = flag.String("journal", "", "append one NDJSON outcome row per job to this file")
+		maxP99   = flag.Duration("max-p99", 0, "fail if client-side p99 latency exceeds this (0 = no gate)")
+		retries  = flag.Int("retries", 10, "max submission attempts per job")
+		seed     = flag.Int64("seed", 1, "backoff jitter seed (fixed seeds reproduce schedules)")
+	)
+	flag.Parse()
+	if err := run(*addr, strings.Split(*exp, ","), *n, *conc, specOpts{
+		warmup: *warmup, measure: *measure, benches: *benches,
+		interval: *interval, attrib: *attrib, timeout: *timeout,
+	}, *outDir, *journal, *maxP99, *retries, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "skiactl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// specOpts carries the per-job spec knobs.
+type specOpts struct {
+	warmup, measure uint64
+	benches         string
+	interval        uint64
+	attrib          bool
+	timeout         float64
+}
+
+// spec builds the JobSpec for one experiment id.
+func (o specOpts) spec(exp string) serve.JobSpec {
+	s := serve.JobSpec{
+		SchemaVersion: experiments.SchemaVersion,
+		Experiment:    exp,
+		Meta: experiments.RunMeta{
+			WarmupInstructions:  o.warmup,
+			MeasureInstructions: o.measure,
+		},
+		Interval:       o.interval,
+		Attrib:         o.attrib,
+		TimeoutSeconds: o.timeout,
+	}
+	if o.benches != "" {
+		for _, b := range strings.Split(o.benches, ",") {
+			s.Meta.Benchmarks = append(s.Meta.Benchmarks, experiments.BenchmarkRef{Name: b})
+		}
+	}
+	return s
+}
+
+func run(addr string, exps []string, n, conc int, opts specOpts, outDir, journal string, maxP99 time.Duration, retries int, seed int64) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	client := serve.NewClient(addr, seed)
+	client.MaxAttempts = retries
+
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	results := make([]result, n)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				e := exps[i%len(exps)]
+				t0 := time.Now()
+				res, err := client.RunJob(ctx, opts.spec(e))
+				lat := time.Since(t0)
+				out := jobOutcome{Seq: i, Experiment: e, LatencySeconds: lat.Seconds()}
+				if res != nil && res.Status != nil {
+					out.JobID = res.Status.JobID
+				}
+				switch {
+				case err != nil && res != nil && res.Manifest != nil:
+					out.Status = res.Manifest.Status
+					out.Error = res.Manifest.Error
+				case err != nil:
+					out.Status = "lost"
+					out.Error = err.Error()
+				default:
+					out.Status = res.Manifest.Status
+					out.Rows = res.Manifest.Rows
+					results[i].report = res.Report
+				}
+				results[i].outcome = out
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			close(work)
+			wg.Wait()
+			return ctx.Err()
+		}
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Reconcile: count outcomes, collect latencies, detect lost or
+	// duplicated jobs (every accepted job must report exactly one
+	// manifest with a unique job ID).
+	var lats []time.Duration
+	counts := map[string]int{}
+	ids := map[string]int{}
+	var failures []string
+	for _, r := range results {
+		counts[r.outcome.Status]++
+		lats = append(lats, time.Duration(r.outcome.LatencySeconds*float64(time.Second)))
+		if r.outcome.JobID != "" {
+			ids[r.outcome.JobID]++
+		}
+		if r.outcome.Status != serve.StatusDone {
+			failures = append(failures, fmt.Sprintf("job %d (%s): %s: %s",
+				r.outcome.Seq, r.outcome.Experiment, r.outcome.Status, r.outcome.Error))
+		}
+	}
+	dups := 0
+	//skia:detmap-ok only the count of duplicated IDs is used; iteration order is irrelevant
+	for _, c := range ids {
+		if c > 1 {
+			dups += c - 1
+		}
+	}
+
+	if journal != "" {
+		if err := writeJournal(journal, results); err != nil {
+			return err
+		}
+	}
+	if outDir != "" {
+		if err := writeAggregate(outDir, results, elapsed); err != nil {
+			return err
+		}
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	fmt.Printf("%d jobs in %s (%.1f jobs/s), %d concurrent clients\n",
+		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), conc)
+	fmt.Printf("status: done=%d failed=%d canceled=%d lost=%d duplicated=%d\n",
+		counts[serve.StatusDone], counts[serve.StatusFailed], counts[serve.StatusCanceled],
+		counts["lost"], dups)
+	p50, p90, p99 := percentile(lats, 0.50), percentile(lats, 0.90), percentile(lats, 0.99)
+	fmt.Printf("latency: p50=%s p90=%s p99=%s max=%s\n",
+		p50.Round(time.Microsecond), p90.Round(time.Microsecond),
+		p99.Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "skiactl: "+f)
+		}
+		return fmt.Errorf("%d of %d jobs did not complete", len(failures), n)
+	}
+	if dups > 0 {
+		return fmt.Errorf("%d duplicated job IDs", dups)
+	}
+	if maxP99 > 0 && p99 > maxP99 {
+		return fmt.Errorf("p99 latency %s exceeds gate %s", p99, maxP99)
+	}
+	return nil
+}
+
+// result pairs one job's outcome with its report envelope (nil when
+// the job did not complete).
+type result struct {
+	outcome jobOutcome
+	report  json.RawMessage
+}
+
+// writeJournal writes one NDJSON outcome row per job — the raw
+// material the CI smoke job uploads on failure.
+func writeJournal(path string, results []result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, r := range results {
+		if err := enc.Encode(r.outcome); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// writeAggregate writes each job's report envelope as
+// DIR/<job-id>.json plus a DIR/manifest.json index in the exact
+// format cmd/skiaexp -out produces, so skiacmp diffs service results
+// against batch results directly.
+func writeAggregate(dir string, results []result, elapsed time.Duration) error {
+	mf := experiments.Manifest{
+		SchemaVersion:    experiments.SchemaVersion,
+		GeneratedAt:      time.Now().UTC().Format(time.RFC3339),
+		Args:             os.Args[1:],
+		TotalWallSeconds: elapsed.Seconds(),
+	}
+	for _, r := range results {
+		if r.report == nil {
+			continue
+		}
+		rep, err := experiments.DecodeReport(r.report)
+		if err != nil {
+			return fmt.Errorf("job %s: %w", r.outcome.JobID, err)
+		}
+		file := r.outcome.JobID + ".json"
+		if err := os.WriteFile(filepath.Join(dir, file), append(r.report, '\n'), 0o644); err != nil {
+			return err
+		}
+		mf.Experiments = append(mf.Experiments, experiments.ManifestEntry{
+			ID:          r.outcome.JobID,
+			Title:       rep.Title,
+			File:        file,
+			WallSeconds: r.outcome.LatencySeconds,
+		})
+	}
+	data, err := json.MarshalIndent(mf, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	fmt.Printf("wrote %s (%d reports)\n", filepath.Join(dir, "manifest.json"), len(mf.Experiments))
+	return nil
+}
+
+// percentile returns the pth percentile of sorted latencies
+// (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

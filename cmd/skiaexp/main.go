@@ -14,7 +14,12 @@
 // report is emitted as a versioned JSON envelope (schema documented in
 // EXPERIMENTS.md, "Results schema"); with -out DIR the envelopes are
 // written to DIR/<id>.json plus a DIR/manifest.json index, ready for
-// regression diffing with cmd/skiacmp.
+// regression diffing with cmd/skiacmp. For a long-running service
+// around the same harnesses, see cmd/skiaserve and API.md.
+//
+// Every failure — experiment errors, report or manifest write errors,
+// profiler shutdown errors — exits nonzero; a partial -out directory
+// is never silently reported as success.
 //
 // Absolute numbers will not match the paper's gem5/Alder Lake testbed;
 // the shapes (who wins, by roughly what factor, where crossovers fall)
@@ -24,78 +29,19 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
-	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 )
-
-type expFn func(experiments.Options) (*experiments.Report, error)
-
-func catalog() map[string]expFn {
-	return map[string]expFn{
-		"fig1":  func(o experiments.Options) (*experiments.Report, error) { return experiments.Fig1(o, nil) },
-		"fig3":  func(o experiments.Options) (*experiments.Report, error) { return experiments.Fig3(o, nil) },
-		"fig6":  experiments.Fig6,
-		"fig13": experiments.Fig13,
-		"fig14": experiments.Fig14,
-		"fig15": experiments.Fig15,
-		"fig16": experiments.Fig16,
-		"fig17": experiments.Fig17,
-		"fig18": experiments.Fig18,
-		"bolt":  experiments.Bolt,
-		"table1": func(experiments.Options) (*experiments.Report, error) {
-			return experiments.Table1(), nil
-		},
-		"table2": func(experiments.Options) (*experiments.Report, error) {
-			return experiments.Table2()
-		},
-		"ablation-index": experiments.AblationIndexPolicy,
-		"ablation-pathcap": func(o experiments.Options) (*experiments.Report, error) {
-			return experiments.AblationPathCap(o, nil)
-		},
-		"ablation-replacement": experiments.AblationReplacement,
-		"ablation-sbdtobtb":    experiments.AblationInsertIntoBTB,
-		"ablation-wrongpath":   experiments.AblationWrongPath,
-		"ext-conds":            experiments.ExtensionShadowConds,
-	}
-}
-
-// order lists experiments in presentation order for -exp all.
-var order = []string{
-	"table1", "table2",
-	"fig1", "fig3", "fig6", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-	"bolt",
-	"ablation-index", "ablation-pathcap", "ablation-replacement",
-	"ablation-sbdtobtb", "ablation-wrongpath",
-	"ext-conds",
-}
-
-// manifestEntry indexes one written report in manifest.json.
-type manifestEntry struct {
-	ID          string  `json:"id"`
-	Title       string  `json:"title"`
-	File        string  `json:"file"`
-	WallSeconds float64 `json:"wall_seconds"`
-}
-
-// manifest is the top-level index a -json -out run writes alongside
-// the per-experiment files.
-type manifest struct {
-	SchemaVersion    int             `json:"schema_version"`
-	GeneratedAt      string          `json:"generated_at"`
-	GitDescribe      string          `json:"git_describe,omitempty"`
-	Args             []string        `json:"args"`
-	Experiments      []manifestEntry `json:"experiments"`
-	TotalWallSeconds float64         `json:"total_wall_seconds"`
-}
 
 // gitDescribe best-effort identifies the tree that produced a report;
 // empty when git or the repository is unavailable.
@@ -108,51 +54,56 @@ func gitDescribe() string {
 }
 
 func main() {
-	var (
-		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list    = flag.Bool("list", false, "list available experiments")
-		warmup  = flag.Uint64("warmup", 0, "warmup instructions per run (0 = default)")
-		measure = flag.Uint64("measure", 0, "measured instructions per run (0 = default)")
-		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: full suite)")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		asJSON  = flag.Bool("json", false, "emit JSON report envelopes instead of plain text")
-		outDir  = flag.String("out", "", "write <id>.json per experiment plus manifest.json into this directory (implies -json)")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "skiaexp: %v\n", err)
+		os.Exit(1)
+	}
+}
 
-		intervals = flag.Uint64("intervals", 0,
+// run executes the CLI and returns every failure joined: an error from
+// any experiment, report write, manifest write, or profiler stop makes
+// the process exit nonzero (regression-tested in main_test.go — an
+// earlier version exited 0 when the manifest write failed after the
+// per-experiment files were already on disk).
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("skiaexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp     = fs.String("exp", "", "experiment id (see -list), or 'all'")
+		list    = fs.Bool("list", false, "list available experiments")
+		warmup  = fs.Uint64("warmup", 0, "warmup instructions per run (0 = default)")
+		measure = fs.Uint64("measure", 0, "measured instructions per run (0 = default)")
+		benches = fs.String("benchmarks", "", "comma-separated benchmark subset (default: full suite)")
+		workers = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		asJSON  = fs.Bool("json", false, "emit JSON report envelopes instead of plain text")
+		outDir  = fs.String("out", "", "write <id>.json per experiment plus manifest.json into this directory (implies -json)")
+
+		intervals = fs.Uint64("intervals", 0,
 			"collect interval metrics every N retired instructions per run; summaries land in the report envelope's `intervals` section (0 = off)")
-		attribOn = flag.Bool("attrib", false,
+		attribOn = fs.Bool("attrib", false,
 			"classify BTB misses and stall cycles by cause on every run; summaries land in the report envelope's `attribution` section")
 	)
 	var prof metrics.Profiler
-	prof.RegisterFlags(flag.CommandLine)
-	flag.Parse()
+	prof.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *outDir != "" {
 		*asJSON = true
 	}
 	stopProf, err := prof.Start()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "skiaexp: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	defer func() {
-		if err := stopProf(); err != nil {
-			fmt.Fprintf(os.Stderr, "skiaexp: %v\n", err)
-		}
-	}()
-
-	cat := catalog()
+	var failures []error
+	cat := experiments.Catalog()
 	if *list || *exp == "" {
-		fmt.Println("available experiments:")
-		names := make([]string, 0, len(cat))
-		for n := range cat {
-			names = append(names, n)
+		fmt.Fprintln(stdout, "available experiments:")
+		for _, n := range experiments.IDs() {
+			fmt.Fprintln(stdout, "  "+n)
 		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Println("  " + n)
-		}
-		fmt.Println("  all")
-		return
+		fmt.Fprintln(stdout, "  all")
+		return stopProf()
 	}
 
 	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Workers: *workers, Interval: *intervals, Attrib: *attribOn}
@@ -162,74 +113,85 @@ func main() {
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "skiaexp: %v\n", err)
-			os.Exit(1)
+			failures = append(failures, err)
+			return errors.Join(append(failures, stopProf())...)
 		}
 	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = order
+		ids = experiments.Order
 	}
 	describe := gitDescribe()
-	mf := manifest{
+	mf := experiments.Manifest{
 		SchemaVersion: experiments.SchemaVersion,
 		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
 		GitDescribe:   describe,
-		Args:          os.Args[1:],
+		Args:          args,
 	}
 	for _, id := range ids {
 		fn, ok := cat[id]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "skiaexp: unknown experiment %q (try -list)\n", id)
-			os.Exit(2)
+			failures = append(failures, fmt.Errorf("unknown experiment %q (try -list)", id))
+			break
 		}
 		start := time.Now()
 		rep, err := fn(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "skiaexp: %s: %v\n", id, err)
-			os.Exit(1)
+			failures = append(failures, fmt.Errorf("%s: %w", id, err))
+			break
 		}
 		elapsed := time.Since(start)
 		if !*asJSON {
-			fmt.Println(rep)
-			fmt.Printf("(%s in %s)\n\n", id, elapsed.Round(time.Millisecond))
+			fmt.Fprintln(stdout, rep)
+			fmt.Fprintf(stdout, "(%s in %s)\n\n", id, elapsed.Round(time.Millisecond))
 			continue
 		}
 		rep.Meta.GitDescribe = describe
 		rep.Meta.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "skiaexp: %s: marshal: %v\n", id, err)
-			os.Exit(1)
+			failures = append(failures, fmt.Errorf("%s: marshal: %w", id, err))
+			break
 		}
 		data = append(data, '\n')
 		if *outDir == "" {
-			os.Stdout.Write(data)
+			stdout.Write(data)
 			continue
 		}
 		file := id + ".json"
 		if err := os.WriteFile(filepath.Join(*outDir, file), data, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "skiaexp: %s: %v\n", id, err)
-			os.Exit(1)
+			failures = append(failures, fmt.Errorf("%s: %w", id, err))
+			break
 		}
-		mf.Experiments = append(mf.Experiments, manifestEntry{
+		mf.Experiments = append(mf.Experiments, experiments.ManifestEntry{
 			ID: id, Title: rep.Title, File: file, WallSeconds: elapsed.Seconds(),
 		})
 		mf.TotalWallSeconds += elapsed.Seconds()
-		fmt.Printf("wrote %s (%s in %s)\n", filepath.Join(*outDir, file), id, elapsed.Round(time.Millisecond))
+		fmt.Fprintf(stdout, "wrote %s (%s in %s)\n", filepath.Join(*outDir, file), id, elapsed.Round(time.Millisecond))
 	}
 	if *outDir != "" {
-		data, err := json.MarshalIndent(mf, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "skiaexp: manifest: %v\n", err)
-			os.Exit(1)
+		if err := writeManifest(*outDir, mf); err != nil {
+			failures = append(failures, err)
+		} else {
+			fmt.Fprintf(stdout, "wrote %s (%d experiments)\n", filepath.Join(*outDir, "manifest.json"), len(mf.Experiments))
 		}
-		path := filepath.Join(*outDir, "manifest.json")
-		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "skiaexp: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s (%d experiments)\n", path, len(mf.Experiments))
 	}
+	if err := stopProf(); err != nil {
+		failures = append(failures, err)
+	}
+	return errors.Join(failures...)
+}
+
+// writeManifest serializes the run index to DIR/manifest.json.
+func writeManifest(dir string, mf experiments.Manifest) error {
+	data, err := json.MarshalIndent(mf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	path := filepath.Join(dir, "manifest.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,102 @@
+// Command skiaserve runs the sweep service: simulation-as-a-service
+// over the experiment catalog. It accepts job specs (the report
+// envelope's JSON vocabulary) on an HTTP job API, runs them on a
+// sharded bounded-queue worker pool, and streams results back as
+// NDJSON. See API.md for the full HTTP surface and a curl quickstart;
+// cmd/skiactl is the matching load-generating client.
+//
+// Usage:
+//
+//	skiaserve                                  # listen on :8344
+//	skiaserve -addr 127.0.0.1:0                # ephemeral port (printed)
+//	skiaserve -shards 4 -workers 2 -queue 256  # 8 workers, 1024 queued
+//	skiaserve -job-timeout 5m -grace 30s
+//
+// SIGINT/SIGTERM begin a graceful drain: /healthz flips to 503, new
+// submissions are rejected retriably, queued jobs fail fast with a
+// retriable error, and in-flight jobs get -grace to finish before
+// their simulations are canceled mid-run.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8344", "listen address (host:port; port 0 picks one)")
+		shards  = flag.Int("shards", 1, "worker-pool shards (jobs join the shortest shard queue)")
+		workers = flag.Int("workers", 1, "worker goroutines per shard")
+		queue   = flag.Int("queue", 64, "bounded queue depth per shard (full queue => 429)")
+		jobWorkers = flag.Int("job-workers", 1, "simulation concurrency inside one job")
+		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "default per-job run timeout (0 = unbounded)")
+		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 rejections")
+		grace      = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight jobs")
+		verbose    = flag.Bool("v", false, "log job lifecycle events")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		Shards:         *shards,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		JobWorkers:     *jobWorkers,
+		DefaultTimeout: *jobTimeout,
+		RetryAfter:     *retryAfter,
+	}
+	logger := log.New(os.Stderr, "skiaserve: ", log.LstdFlags|log.Lmicroseconds)
+	if *verbose {
+		cfg.Hooks.OnSubmit = func(id string) { logger.Printf("submit %s", id) }
+		cfg.Hooks.OnFinish = func(id, status string) { logger.Printf("finish %s %s", id, status) }
+		cfg.Hooks.OnReject = func(reason string) { logger.Printf("reject: %s", reason) }
+	}
+	srv := serve.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	// Machine-readable first line so harnesses (CI smoke, skiactl
+	// wrappers) can scrape the bound address under -addr :0.
+	fmt.Printf("skiaserve listening on %s\n", ln.Addr())
+	logger.Printf("%d shard(s) x %d worker(s), queue %d/shard, job timeout %s",
+		cfg.Shards, cfg.Workers, cfg.QueueDepth, *jobTimeout)
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		logger.Printf("received %s; draining (grace %s)", sig, *grace)
+	case err := <-errc:
+		logger.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("drain: %v", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	c := srv.Counters()
+	logger.Printf("drained: %d completed, %d failed, %d canceled, %d rejected",
+		c.Completed, c.Failed, c.Canceled, c.Rejected)
+}

@@ -14,9 +14,15 @@
 // rendered text. cmd/skiaexp writes these files with -json/-out and
 // cmd/skiacmp diffs two result sets as a regression gate. The schema
 // is documented field by field in EXPERIMENTS.md ("Results schema").
+//
+// Catalog exposes every harness by ID for driving experiments by
+// name: cmd/skiaexp iterates it for batch runs, and internal/serve
+// (cmd/skiaserve) serves the same catalog over an HTTP job API whose
+// specs reuse this package's envelope vocabulary (see API.md).
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cpu"
@@ -47,6 +53,12 @@ type Options struct {
 	// Reports are identical either way — the flag exists for
 	// differential testing and performance comparison.
 	NoDecodeCache bool
+	// Context, when non-nil, bounds every simulation the harness runs:
+	// cancellation or deadline expiry aborts in-flight runs at the next
+	// instruction chunk and the harness returns an error wrapping
+	// ctx.Err(). nil means no bound. The sweep service
+	// (internal/serve) sets this per job.
+	Context context.Context
 }
 
 func (o Options) benchmarks() []string {
@@ -61,6 +73,7 @@ func (o Options) runner() *sim.Runner {
 	r.Workers = o.Workers
 	r.Interval = o.Interval
 	r.Attrib = o.Attrib
+	r.BaseContext = o.Context
 	return r
 }
 

@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client speaks the job API. It retries submissions on backpressure
+// (429), draining (503), other 5xx, and transport errors, with
+// jittered exponential backoff that honors the server's Retry-After
+// hint. cmd/skiactl is a thin load-generating wrapper around it.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxAttempts bounds submission attempts (default 8).
+	MaxAttempts int
+	// Backoff is the first retry delay (default 50ms); it doubles per
+	// attempt up to MaxBackoff (default 2s), each delay jittered
+	// uniformly in [delay/2, delay]. A Retry-After hint overrides the
+	// schedule when larger.
+	Backoff, MaxBackoff time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient builds a client. The seed drives backoff jitter only —
+// fixed seeds make load-test schedules reproducible.
+func NewClient(baseURL string, seed int64) *Client {
+	return &Client{BaseURL: baseURL, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 8
+}
+
+// jitter returns a uniformly jittered delay in [d/2, d].
+func (c *Client) jitter(d time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(1))
+	}
+	half := d / 2
+	return half + time.Duration(c.rng.Int63n(int64(half)+1))
+}
+
+// backoffDelay computes the attempt'th delay (0-based), folding in a
+// Retry-After hint when the server sent one.
+func (c *Client) backoffDelay(attempt int, retryAfter time.Duration) time.Duration {
+	base := c.Backoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxB := c.MaxBackoff
+	if maxB <= 0 {
+		maxB = 2 * time.Second
+	}
+	d := base << uint(attempt)
+	if d > maxB || d <= 0 {
+		d = maxB
+	}
+	d = c.jitter(d)
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// RetriableError wraps a submission rejection worth retrying; Submit
+// returns it (wrapped) only once MaxAttempts is exhausted.
+type RetriableError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *RetriableError) Error() string {
+	return fmt.Sprintf("http %d: %s", e.StatusCode, e.Message)
+}
+
+// Submit posts a job spec, retrying on 429/503/5xx and transport
+// errors, and returns the accepted job's status.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (*JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	var last error
+	var lastHint time.Duration
+	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			delay := c.backoffDelay(attempt-1, lastHint)
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			last, lastHint = &RetriableError{Message: err.Error()}, 0
+			continue
+		}
+		st, hint, rerr := decodeSubmitResponse(resp)
+		if rerr == nil {
+			return st, nil
+		}
+		var re *RetriableError
+		if !errors.As(rerr, &re) {
+			return nil, rerr // permanent (400, 404, decode failure)
+		}
+		last, lastHint = rerr, hint
+	}
+	return nil, fmt.Errorf("serve: submit gave up after %d attempts: %w", c.maxAttempts(), last)
+}
+
+// decodeSubmitResponse classifies a submit response: 202 yields the
+// status, 429/503/5xx yield a *RetriableError plus the parsed
+// Retry-After hint, anything else is permanent.
+func decodeSubmitResponse(resp *http.Response) (*JobStatus, time.Duration, error) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode == http.StatusAccepted {
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			return nil, 0, fmt.Errorf("serve: decode submit response: %w", err)
+		}
+		return &st, 0, nil
+	}
+	msg := string(bytes.TrimSpace(data))
+	var ae apiError
+	if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+		msg = ae.Error
+	}
+	if resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusServiceUnavailable ||
+		resp.StatusCode >= 500 {
+		hint := time.Duration(0)
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil {
+				hint = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, hint, &RetriableError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	return nil, 0, fmt.Errorf("serve: submit: http %d: %s", resp.StatusCode, msg)
+}
+
+// ParseStream decodes one NDJSON job stream, invoking fn (when
+// non-nil) per event, and returns the final manifest. It errors if
+// the stream ends without a manifest — the framing contract every
+// stream must satisfy.
+func ParseStream(r io.Reader, fn func(StreamEvent) error) (*JobManifest, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var manifest *JobManifest
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev StreamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("serve: decode stream event: %w", err)
+		}
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return nil, err
+			}
+		}
+		if ev.Type == "manifest" {
+			manifest = ev.Manifest
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if manifest == nil {
+		return nil, fmt.Errorf("serve: stream ended without a manifest event")
+	}
+	return manifest, nil
+}
+
+// Stream opens a job's result stream and parses it to completion.
+func (c *Client) Stream(ctx context.Context, jobID string, fn func(StreamEvent) error) (*JobManifest, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/jobs/%s/stream", c.BaseURL, jobID), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("serve: stream: http %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return ParseStream(resp.Body, fn)
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, jobID string) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		fmt.Sprintf("%s/v1/jobs/%s", c.BaseURL, jobID), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("serve: cancel: http %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// JobResult is RunJob's aggregate: the submit-time status, every
+// streamed row, the full report envelope (raw JSON, ready to write as
+// a skiaexp-style <id>.json file), and the closing manifest.
+type JobResult struct {
+	Status   *JobStatus
+	Columns  []string
+	Rows     []Row
+	Report   json.RawMessage
+	Manifest *JobManifest
+}
+
+// RunJob submits a spec and consumes its stream to the final
+// manifest. A terminal status other than done is returned as an error
+// (a *RetriableError when the manifest marks the failure retriable);
+// the JobResult still carries whatever the stream delivered.
+func (c *Client) RunJob(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	res := &JobResult{Status: st}
+	_, err = c.Stream(ctx, st.JobID, func(ev StreamEvent) error {
+		switch ev.Type {
+		case "columns":
+			for _, col := range ev.Columns {
+				res.Columns = append(res.Columns, col.Name)
+			}
+		case "row":
+			res.Rows = append(res.Rows, *ev.Row)
+		case "report":
+			raw, err := json.MarshalIndent(ev.Report, "", "  ")
+			if err != nil {
+				return err
+			}
+			res.Report = raw
+		case "manifest":
+			res.Manifest = ev.Manifest
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if m := res.Manifest; m.Status != StatusDone {
+		if m.Retriable {
+			return res, &RetriableError{Message: fmt.Sprintf("job %s %s: %s", m.JobID, m.Status, m.Error)}
+		}
+		return res, fmt.Errorf("serve: job %s %s: %s", m.JobID, m.Status, m.Error)
+	}
+	return res, nil
+}

@@ -1,0 +1,144 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// extractFenced returns the first ```<lang> fenced block after marker
+// in doc, following the report_test.go doc-sync pattern.
+func extractFenced(t *testing.T, doc, file, marker, lang string) string {
+	t.Helper()
+	i := strings.Index(doc, marker)
+	if i < 0 {
+		t.Fatalf("%s lacks the %q section", file, marker)
+	}
+	rest := doc[i:]
+	fence := "```" + lang + "\n"
+	start := strings.Index(rest, fence)
+	if start < 0 {
+		t.Fatalf("no fenced %s block after %q in %s", lang, marker, file)
+	}
+	rest = rest[start+len(fence):]
+	end := strings.Index(rest, "```")
+	if end < 0 {
+		t.Fatalf("unterminated %s block after %q in %s", lang, marker, file)
+	}
+	return rest[:end]
+}
+
+func readDoc(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestAPISpecExampleMatchesMarshaller holds API.md's job-spec example
+// to the marshaller: it must decode into a valid JobSpec and re-marshal
+// byte-identically, so the documented JSON is exactly what the server
+// accepts and what a Go client produces.
+func TestAPISpecExampleMatchesMarshaller(t *testing.T) {
+	example := extractFenced(t, readDoc(t, "../../API.md"), "API.md", "### Example: job spec", "json")
+	var spec serve.JobSpec
+	if err := json.Unmarshal([]byte(example), &spec); err != nil {
+		t.Fatalf("documented spec does not decode: %v", err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("documented spec does not validate: %v", err)
+	}
+	out, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(example) != string(out) {
+		t.Errorf("API.md job-spec example is not what the marshaller emits;\nupdate the doc\n--- doc ---\n%s\n--- marshaller ---\n%s", example, out)
+	}
+}
+
+// TestAPIStreamExampleDecodes holds API.md's NDJSON stream example to
+// the framing contract: every line decodes as a StreamEvent with a
+// known type, the first is `job`, and the last is `manifest`.
+func TestAPIStreamExampleDecodes(t *testing.T) {
+	example := extractFenced(t, readDoc(t, "../../API.md"), "API.md", "### Example: result stream", "ndjson")
+	manifest, err := serve.ParseStream(strings.NewReader(example), func(ev serve.StreamEvent) error {
+		switch ev.Type {
+		case "job", "columns", "row", "intervals", "report", "error", "manifest":
+		default:
+			t.Errorf("documented stream has unknown event type %q", ev.Type)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("documented stream does not parse: %v", err)
+	}
+	if manifest.Status != serve.StatusDone || manifest.JobID == "" {
+		t.Errorf("documented manifest = %+v", manifest)
+	}
+	first := strings.SplitN(strings.TrimSpace(example), "\n", 2)[0]
+	var ev serve.StreamEvent
+	if err := json.Unmarshal([]byte(first), &ev); err != nil || ev.Type != "job" {
+		t.Errorf("documented stream does not open with a job event: %q (err %v)", first, err)
+	}
+}
+
+// jsonTags collects the json field names of a struct type.
+func jsonTags(t *testing.T, v any) []string {
+	t.Helper()
+	var tags []string
+	rt := reflect.TypeOf(v)
+	for i := 0; i < rt.NumField(); i++ {
+		tag := rt.Field(i).Tag.Get("json")
+		if tag == "" || tag == "-" {
+			continue
+		}
+		tags = append(tags, strings.Split(tag, ",")[0])
+	}
+	return tags
+}
+
+// TestDocsMentionEverySpecField fails on JSON field drift: every json
+// tag of JobSpec (and of the stream framing types) must be mentioned
+// in API.md, and every JobSpec tag also in EXPERIMENTS.md's "Sweep
+// service" section. Add a field without documenting it and this test
+// names it.
+func TestDocsMentionEverySpecField(t *testing.T) {
+	api := readDoc(t, "../../API.md")
+	exp := readDoc(t, "../../EXPERIMENTS.md")
+	i := strings.Index(exp, "# Sweep service")
+	if i < 0 {
+		t.Fatal(`EXPERIMENTS.md lacks the "# Sweep service" section`)
+	}
+	sweep := exp[i:]
+	if j := strings.Index(sweep[1:], "\n# "); j >= 0 {
+		sweep = sweep[:j+1]
+	}
+	for _, tag := range jsonTags(t, serve.JobSpec{}) {
+		if !strings.Contains(api, "`"+tag+"`") {
+			t.Errorf("API.md does not document JobSpec field %q", tag)
+		}
+		if !strings.Contains(sweep, "`"+tag+"`") {
+			t.Errorf("EXPERIMENTS.md (Sweep service) does not mention JobSpec field %q", tag)
+		}
+	}
+	for _, v := range []any{serve.JobManifest{}, serve.JobError{}} {
+		for _, tag := range jsonTags(t, v) {
+			if !strings.Contains(api, "`"+tag+"`") {
+				t.Errorf("API.md does not document %T field %q", v, tag)
+			}
+		}
+	}
+	// The stream event types themselves.
+	for _, typ := range []string{"job", "columns", "row", "intervals", "report", "error", "manifest"} {
+		if !strings.Contains(api, "`"+typ+"`") {
+			t.Errorf("API.md does not document stream event type %q", typ)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+// ExampleClient_RunJob submits one job to an in-process server and
+// consumes its stream to the final manifest — the whole client
+// lifecycle in one call.
+func ExampleClient_RunJob() {
+	srv := serve.New(serve.Config{Workers: 2})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	defer srv.Shutdown(context.Background())
+
+	client := serve.NewClient(hs.URL, 1)
+	res, err := client.RunJob(context.Background(), serve.JobSpec{
+		Experiment: "table1", // the static configuration table: instant and deterministic
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("job:", res.Status.JobID)
+	fmt.Println("status:", res.Manifest.Status)
+	fmt.Println("rows:", res.Manifest.Rows)
+	fmt.Println("first column:", res.Columns[0])
+	// Output:
+	// job: job-00000001
+	// status: done
+	// rows: 15
+	// first column: field
+}
+
+// ExampleParseStream decodes a captured NDJSON job stream — what a
+// plain HTTP GET of /v1/jobs/{id}/stream (or `curl`) returns — without
+// a live server.
+func ExampleParseStream() {
+	stream := `{"type":"job","job":{"job_id":"job-00000007","experiment":"table1","status":"queued","shard":0}}
+{"type":"columns","columns":[{"name":"structure"},{"name":"configuration"}]}
+{"type":"row","row":{"index":0,"cells":[{"kind":"str","text":"BTB"},{"kind":"str","text":"8K entries"}]}}
+{"type":"manifest","manifest":{"schema_version":1,"job_id":"job-00000007","experiment":"table1","status":"done","rows":1,"wall_seconds":0.002}}
+`
+	manifest, err := serve.ParseStream(strings.NewReader(stream), func(ev serve.StreamEvent) error {
+		fmt.Println("event:", ev.Type)
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("job %s finished %s with %d row(s)\n", manifest.JobID, manifest.Status, manifest.Rows)
+	// Output:
+	// event: job
+	// event: columns
+	// event: row
+	// event: manifest
+	// job job-00000007 finished done with 1 row(s)
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// JobSpec is the submit-request body: which experiment to run and
+// under which windows. It deliberately reuses the report envelope's
+// vocabulary — `schema_version` follows experiments.SchemaVersion and
+// the options live in the same `meta` object (RunMeta) the result
+// envelope carries, so a spec is readable as "the meta I want the
+// report to come back with". Decoders accept schema versions 1
+// through experiments.SchemaVersion; fields later versions added
+// (interval, attrib) are simply absent from older specs.
+//
+// API.md ("Job spec") documents the JSON field by field; a doc-sync
+// test fails the build when the two drift.
+type JobSpec struct {
+	// SchemaVersion is the envelope schema the submitter speaks,
+	// 1..experiments.SchemaVersion. Zero means latest.
+	SchemaVersion int `json:"schema_version,omitempty"`
+	// Experiment is a catalog ID (skiaexp -list): "fig14", "table1", …
+	Experiment string `json:"experiment"`
+	// Meta carries the run options in report-envelope form. Honored
+	// fields: warmup_instructions, measure_instructions, benchmarks
+	// (names only; seeds are implied by the registry). Everything else
+	// (git_describe, sim, …) is report output and ignored on input.
+	Meta experiments.RunMeta `json:"meta"`
+	// Interval, when nonzero, collects interval metrics every N
+	// retired instructions; per-spec summaries stream back as
+	// `intervals` events and land in the report envelope. Requires
+	// schema version >= 2.
+	Interval uint64 `json:"interval,omitempty"`
+	// Attrib enables per-cause BTB-miss attribution (report envelope
+	// `attribution` section). Requires schema version >= 3.
+	Attrib bool `json:"attrib,omitempty"`
+	// TimeoutSeconds bounds the job's wall-clock run time; expiry
+	// cancels the simulation and fails the job with a non-retriable
+	// timeout error. Zero uses the server default.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// Validate checks the spec against the catalog and the workload
+// registry so bad requests fail at submit time (HTTP 400), not as
+// failed jobs.
+func (s JobSpec) Validate() error {
+	if s.SchemaVersion < 0 || s.SchemaVersion > experiments.SchemaVersion {
+		return fmt.Errorf("schema_version %d outside 1..%d", s.SchemaVersion, experiments.SchemaVersion)
+	}
+	if s.Experiment == "" {
+		return fmt.Errorf("experiment is required")
+	}
+	if _, ok := experiments.Catalog()[s.Experiment]; !ok {
+		return fmt.Errorf("unknown experiment %q (have %v)", s.Experiment, experiments.IDs())
+	}
+	for _, b := range s.Meta.Benchmarks {
+		if _, err := workload.ByName(b.Name); err != nil {
+			return fmt.Errorf("benchmark %q: %w", b.Name, err)
+		}
+	}
+	if s.SchemaVersion != 0 && s.SchemaVersion < 2 && s.Interval != 0 {
+		return fmt.Errorf("interval requires schema_version >= 2 (got %d)", s.SchemaVersion)
+	}
+	if s.SchemaVersion != 0 && s.SchemaVersion < 3 && s.Attrib {
+		return fmt.Errorf("attrib requires schema_version >= 3 (got %d)", s.SchemaVersion)
+	}
+	if s.TimeoutSeconds < 0 {
+		return fmt.Errorf("timeout_seconds must be >= 0")
+	}
+	return nil
+}
+
+// options translates the spec into harness options. Per-job simulation
+// concurrency comes from the server (jobWorkers), not the spec: the
+// worker pool owns the machine's parallelism budget.
+func (s JobSpec) options(jobWorkers int) experiments.Options {
+	o := experiments.Options{
+		Warmup:   s.Meta.WarmupInstructions,
+		Measure:  s.Meta.MeasureInstructions,
+		Workers:  jobWorkers,
+		Interval: s.Interval,
+		Attrib:   s.Attrib,
+	}
+	for _, b := range s.Meta.Benchmarks {
+		o.Benchmarks = append(o.Benchmarks, b.Name)
+	}
+	return o
+}
+
+// Job states, in lifecycle order.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+)
+
+// JobStatus is the status JSON returned by submit, GET /v1/jobs/{id},
+// and the stream's `job` events.
+type JobStatus struct {
+	JobID      string `json:"job_id"`
+	Experiment string `json:"experiment"`
+	Status     string `json:"status"`
+	// Shard is the worker-pool shard the job was enqueued on.
+	Shard int `json:"shard"`
+	// QueueDepth is the shard's queue occupancy observed at submit
+	// time (submit response only).
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// Error and Retriable describe terminal failures. Retriable means
+	// resubmitting the identical spec may succeed (shutdown, queue
+	// pressure) as opposed to a deterministic failure (bad benchmark,
+	// simulation error, timeout).
+	Error     string `json:"error,omitempty"`
+	Retriable bool   `json:"retriable,omitempty"`
+	// Timestamps are RFC 3339 with subsecond precision; unset phases
+	// are omitted.
+	EnqueuedAt  string `json:"enqueued_at,omitempty"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// Rows counts the result table's data rows once the job is done.
+	Rows int `json:"rows,omitempty"`
+}
+
+// Row is one result-table row in a stream `row` event. Index is the
+// 0-based row position in the report table; cells align with the
+// preceding `columns` event.
+type Row struct {
+	Index int          `json:"index"`
+	Cells []stats.Cell `json:"cells"`
+}
+
+// JobError is the stream `error` event payload.
+type JobError struct {
+	Message string `json:"message"`
+	// Retriable marks transient failures (shutdown drain); resubmit
+	// the same spec. Deterministic failures (timeout, simulation
+	// error) are not retriable.
+	Retriable bool `json:"retriable"`
+}
+
+// JobManifest is the stream's final event: the job's closing summary.
+// Every stream ends with exactly one manifest, success or failure, so
+// a client that counts manifests reconciles jobs exactly.
+type JobManifest struct {
+	SchemaVersion int    `json:"schema_version"`
+	JobID         string `json:"job_id"`
+	Experiment    string `json:"experiment"`
+	Status        string `json:"status"`
+	// Rows is the number of `row` events the stream carried.
+	Rows        int     `json:"rows"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Error       string  `json:"error,omitempty"`
+	Retriable   bool    `json:"retriable,omitempty"`
+}
+
+// StreamEvent is one NDJSON line of a job result stream. Type selects
+// which payload field is set:
+//
+//	"job"       → Job: status snapshot (first line of every stream)
+//	"columns"   → Columns: result-table column descriptors
+//	"row"       → Row: one result-table row
+//	"intervals" → Intervals: one spec's interval-metrics summary
+//	"report"    → Report: the full versioned report envelope
+//	"error"     → Error: terminal failure description
+//	"manifest"  → Manifest: closing summary (always the last line)
+type StreamEvent struct {
+	Type      string               `json:"type"`
+	Job       *JobStatus           `json:"job,omitempty"`
+	Columns   []stats.Column       `json:"columns,omitempty"`
+	Row       *Row                 `json:"row,omitempty"`
+	Intervals *sim.SpecIntervals   `json:"intervals,omitempty"`
+	Report    *experiments.Report  `json:"report,omitempty"`
+	Error     *JobError            `json:"error,omitempty"`
+	Manifest  *JobManifest         `json:"manifest,omitempty"`
+}
+
+// job is the server-side job record. Mutable fields are guarded by the
+// server mutex; result fields are written once before done closes and
+// only read after.
+type job struct {
+	id    string
+	spec  JobSpec
+	shard int
+
+	// Guarded by Server.mu.
+	status     string
+	errMsg     string
+	retriable  bool
+	enqueuedAt time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+	rows       int
+
+	// runCtx is canceled by DELETE /v1/jobs/{id} and by shutdown
+	// grace expiry; the worker threads it (plus the per-job timeout)
+	// into the simulation loop.
+	runCtx context.Context
+	cancel func()
+	// done closes when the job reaches a terminal state; report/runErr
+	// are immutable afterwards.
+	done   chan struct{}
+	report *experiments.Report
+	runErr error
+}
+
+// rfc3339 renders a timestamp for status JSON ("" when unset).
+func rfc3339(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Counters is a snapshot of the server's job accounting, exposed as
+// JSON (tests, tooling) and as the plain-text /metrics rendering.
+//
+// The counters conserve: Submitted == Queued + Inflight + Completed +
+// Failed + Canceled at every instant (Rejected requests never receive
+// a job ID and are counted separately). TestMetricsConservation holds
+// the server to that identity under concurrent load, the same way the
+// simulator's attribution engine proves its cause taxonomy against
+// aggregate counters.
+type Counters struct {
+	// Submitted counts accepted jobs (HTTP 202).
+	Submitted uint64 `json:"jobs_submitted_total"`
+	// Rejected counts submissions turned away with 429 (queue full)
+	// or 503 (draining); they never become jobs.
+	Rejected uint64 `json:"jobs_rejected_total"`
+	// Completed/Failed/Canceled count terminal jobs.
+	Completed uint64 `json:"jobs_completed_total"`
+	Failed    uint64 `json:"jobs_failed_total"`
+	Canceled  uint64 `json:"jobs_canceled_total"`
+	// Queued and Inflight are gauges over live jobs.
+	Queued   int `json:"jobs_queued"`
+	Inflight int `json:"jobs_inflight"`
+	// Workers is the pool size (shards × workers per shard);
+	// WorkersBusy is the gauge of workers currently running a job, and
+	// BusySeconds accumulates their occupied wall time — utilization
+	// over a scrape window is ΔBusySeconds / (Workers × Δt).
+	Workers     int     `json:"workers"`
+	WorkersBusy int     `json:"workers_busy"`
+	BusySeconds float64 `json:"worker_busy_seconds_total"`
+	// QueueCapacity is the bounded queue size summed over shards.
+	QueueCapacity int `json:"queue_capacity"`
+}
+
+// metricsText renders the counters in the conventional one-line-per-
+// metric exposition format. Rows are emitted in fixed order (no map),
+// so the rendering is deterministic — the skialint detmap discipline
+// applied to an HTTP response.
+func (c Counters) metricsText() string {
+	var b strings.Builder
+	row := func(name string, v any) {
+		fmt.Fprintf(&b, "skiaserve_%s %v\n", name, v)
+	}
+	row("jobs_submitted_total", c.Submitted)
+	row("jobs_rejected_total", c.Rejected)
+	row("jobs_completed_total", c.Completed)
+	row("jobs_failed_total", c.Failed)
+	row("jobs_canceled_total", c.Canceled)
+	row("jobs_queued", c.Queued)
+	row("jobs_inflight", c.Inflight)
+	row("workers", c.Workers)
+	row("workers_busy", c.WorkersBusy)
+	row("worker_busy_seconds_total", fmt.Sprintf("%.6f", c.BusySeconds))
+	row("queue_capacity", c.QueueCapacity)
+	return b.String()
+}
+
+// Hooks are optional observation points, nil-checked at every call
+// site in the internal/metrics style: an unset hook costs one nil
+// check, never an allocation or a lock. They run on the server's
+// request/worker goroutines, so implementations must be fast and
+// concurrency-safe.
+type Hooks struct {
+	// OnSubmit fires after a job is accepted and enqueued.
+	OnSubmit func(id string)
+	// OnFinish fires when a job reaches a terminal status
+	// (done/failed/canceled).
+	OnFinish func(id, status string)
+	// OnReject fires when a submission is turned away (429/503).
+	OnReject func(reason string)
+}
+
+// handleHealthz implements GET /healthz: 200 "ok" while accepting
+// work, 503 "draining" once shutdown has begun.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics implements GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.Counters().metricsText())
+}

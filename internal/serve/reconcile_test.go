@@ -1,0 +1,272 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/serve"
+)
+
+// TestThousandJobReconciliation is the acceptance-scale test from the
+// issue: >=1000 queued sweep requests complete with zero lost and zero
+// duplicated results, and every streamed result reconciles exactly
+// against a batch run of the same spec. The queue is kept small
+// relative to the load so the 429/backoff path is genuinely exercised,
+// not just the happy path.
+func TestThousandJobReconciliation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-job load test")
+	}
+	// Total queue capacity (2 shards x 1) is far below the client
+	// count, so whenever the workers are all busy simulating,
+	// submissions overflow into 429s and the retry path carries real
+	// load. MaxAttempts is generous because saturated stretches last
+	// seconds while individual backoffs cap at 50ms.
+	s, c := newTestServer(t, serve.Config{Shards: 2, Workers: 4, QueueDepth: 1})
+	c.MaxAttempts = 1000
+	c.Backoff = time.Millisecond
+	c.MaxBackoff = 50 * time.Millisecond
+
+	// Deterministic backpressure: park an effectively-endless job on
+	// every worker and fill both shard queues, then prove with a
+	// no-retry client that the next submission is turned away with a
+	// 429. Waiting for the fleet below to overflow the queue
+	// organically is timing-dependent (it stops happening when a loaded
+	// machine slows the clients more than the workers), so the retry
+	// path gets its guaranteed exercise here and merely extra load
+	// later.
+	const blockers = 2*4 + 2*1 // one per worker + one per queue slot
+	blockSpec := serve.JobSpec{
+		SchemaVersion: experiments.SchemaVersion,
+		Experiment:    "fig14",
+		Meta: experiments.RunMeta{
+			WarmupInstructions:  5_000,
+			MeasureInstructions: 2_000_000_000, // outlives the test; canceled below
+			Benchmarks:          []experiments.BenchmarkRef{{Name: "noop"}},
+		},
+	}
+	blockIDs := make([]string, 0, blockers)
+	for i := 0; i < blockers; i++ {
+		st, err := c.Submit(context.Background(), blockSpec)
+		if err != nil {
+			t.Fatalf("blocker %d: %v", i, err)
+		}
+		blockIDs = append(blockIDs, st.JobID)
+	}
+	for deadline := time.Now().Add(30 * time.Second); ; time.Sleep(time.Millisecond) {
+		cs := s.Counters()
+		if cs.Inflight == 8 && cs.Queued == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("blockers never saturated the pool: %+v", cs)
+		}
+	}
+	probe := serve.NewClient(c.BaseURL, 2)
+	probe.MaxAttempts = 1
+	if _, err := probe.Submit(context.Background(), table1Spec()); err == nil {
+		t.Fatal("submit against a saturated pool succeeded, want 429")
+	} else {
+		var re *serve.RetriableError
+		if !errors.As(err, &re) || re.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("saturated submit error = %v, want a 429 RetriableError", err)
+		}
+	}
+	for _, id := range blockIDs {
+		if _, err := c.Cancel(context.Background(), id); err != nil {
+			t.Fatalf("cancel blocker %s: %v", id, err)
+		}
+	}
+	for _, id := range blockIDs {
+		m, err := c.Stream(context.Background(), id, nil)
+		if err != nil {
+			t.Fatalf("stream blocker %s: %v", id, err)
+		}
+		if m.Status != serve.StatusCanceled {
+			t.Fatalf("blocker %s ended %q, want canceled", id, m.Status)
+		}
+	}
+
+	// Every eighth job is a real (tiny) fig14 sweep; the rest are
+	// static table1 lookups. The sims keep workers busy for stretches —
+	// pushing cheap jobs into the queue and, when timing allows, into
+	// further 429s — and double as the determinism check: the simulator
+	// must produce bit-identical results no matter which worker ran the
+	// job or how the queue interleaved it.
+	simSpec := serve.JobSpec{
+		SchemaVersion: experiments.SchemaVersion,
+		Experiment:    "fig14",
+		Meta: experiments.RunMeta{
+			WarmupInstructions:  5_000,
+			MeasureInstructions: 20_000,
+			Benchmarks:          []experiments.BenchmarkRef{{Name: "noop"}},
+		},
+	}
+	// The batch references: the same experiments run once through the
+	// harness directly. Every service run must reproduce its reference
+	// cell for cell.
+	wantSim, err := experiments.Fig14(experiments.Options{
+		Warmup: 5_000, Measure: 20_000, Benchmarks: []string{"noop"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTable, err := experiments.Run("table1", experiments.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const jobs = 1000
+	const clients = 32
+	isSim := func(i int) bool { return i%8 == 0 }
+	type outcome struct {
+		manifests int
+		jobID     string
+		status    string
+		rows      []serve.Row
+		err       error
+	}
+	outcomes := make([]outcome, jobs)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				spec := table1Spec()
+				if isSim(i) {
+					spec = simSpec
+				}
+				res, err := c.RunJob(context.Background(), spec)
+				o := outcome{err: err}
+				if res != nil {
+					o.rows = res.Rows
+					if res.Status != nil {
+						o.jobID = res.Status.JobID
+					}
+					if res.Manifest != nil {
+						o.manifests = 1
+						o.status = res.Manifest.Status
+					}
+				}
+				outcomes[i] = o
+			}
+		}()
+	}
+	for i := 0; i < jobs; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	// Reconcile: every job produced exactly one manifest, done, with a
+	// unique ID, and rows identical to the batch run.
+	ids := make(map[string]bool, jobs)
+	lost, dup, failed, mismatched := 0, 0, 0, 0
+	for i, o := range outcomes {
+		if o.err != nil || o.manifests == 0 {
+			lost++
+			if lost <= 3 {
+				t.Errorf("job %d lost: err=%v manifests=%d", i, o.err, o.manifests)
+			}
+			continue
+		}
+		if o.status != serve.StatusDone {
+			failed++
+			continue
+		}
+		if ids[o.jobID] {
+			dup++
+		}
+		ids[o.jobID] = true
+		want := wantTable
+		if isSim(i) {
+			want = wantSim
+		}
+		if len(o.rows) != want.Table.NumRows() {
+			mismatched++
+			continue
+		}
+		for r := range o.rows {
+			if !reflect.DeepEqual(o.rows[r].Cells, want.Table.Row(r)) {
+				mismatched++
+				break
+			}
+		}
+	}
+	if lost != 0 || dup != 0 || failed != 0 || mismatched != 0 {
+		t.Fatalf("reconciliation: lost=%d duplicated=%d failed=%d mismatched=%d of %d", lost, dup, failed, mismatched, jobs)
+	}
+	cs := s.Counters()
+	if cs.Submitted != jobs+blockers || cs.Completed != jobs || cs.Canceled != blockers {
+		t.Errorf("counters after load = %+v, want submitted=%d completed=%d canceled=%d",
+			cs, jobs+blockers, jobs, blockers)
+	}
+	if int(cs.Submitted) != cs.Queued+cs.Inflight+int(cs.Completed+cs.Failed+cs.Canceled) {
+		t.Errorf("conservation violated after load: %+v", cs)
+	}
+	if cs.Rejected == 0 {
+		t.Error("no rejections booked; the saturation probe above must count as one")
+	}
+	t.Logf("%d jobs reconciled (%d submissions rejected)", jobs, cs.Rejected)
+}
+
+// TestConcurrentSubmitCancelStreamHammer races submissions, immediate
+// cancellations, and streams against each other; run under -race this
+// is the memory-model check on the job table, the shard queues, and
+// the stream/finish handoff. Every job must still terminate with
+// exactly one manifest whose status is a legal terminal state.
+func TestConcurrentSubmitCancelStreamHammer(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{Shards: 2, Workers: 2, QueueDepth: 4})
+	c.MaxAttempts = 200
+	c.Backoff = time.Millisecond
+	c.MaxBackoff = 20 * time.Millisecond
+
+	const jobs = 60
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			spec := table1Spec()
+			if i%3 == 1 { // a slower job, so cancels land mid-queue or mid-run
+				spec = tinyFig14()
+				spec.Meta.Benchmarks = spec.Meta.Benchmarks[:1]
+			}
+			st, err := c.Submit(ctx, spec)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if i%3 != 0 {
+				// Racing cancel: may land before, during, or after the run.
+				go c.Cancel(ctx, st.JobID)
+			}
+			m, err := c.Stream(ctx, st.JobID, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			switch m.Status {
+			case serve.StatusDone, serve.StatusFailed, serve.StatusCanceled:
+			default:
+				t.Errorf("job %s terminal status %q", st.JobID, m.Status)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("job %d: %v", i, err)
+		}
+	}
+}

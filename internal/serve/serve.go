@@ -1,0 +1,553 @@
+// Package serve is the sweep service: it exposes the experiment
+// harnesses in internal/experiments as a long-running HTTP job API, so
+// config-sweep matrices (the paper's Figure 14 grid, BTB-size
+// head-to-heads, future rival-mechanism comparisons) can be driven at
+// scale by many concurrent clients instead of one batch skiaexp
+// process.
+//
+// The composition is deliberately thin over layers earlier PRs built:
+// job specs reuse the versioned report-envelope schema
+// (experiments.RunMeta, schema versions 1..experiments.SchemaVersion),
+// results stream back as NDJSON rows of the same typed stats.Table
+// cells the envelopes carry, cancellation rides sim.Runner's context
+// plumbing into the simulation loop, and the /metrics counters follow
+// the conservation discipline the attribution engine established
+// (submitted = queued + inflight + completed + failed + canceled,
+// enforced by test).
+//
+// Architecture: submissions join the shortest of N shard queues, each a bounded
+// FIFO queue drained by its own worker goroutines. A full shard queue
+// rejects with HTTP 429 and a Retry-After hint — backpressure is the
+// client's signal to slow down, and cmd/skiactl's jittered backoff
+// consumes it. Shutdown drains: in-flight jobs finish within a grace
+// period (then are canceled at the next instruction chunk), queued
+// jobs fail immediately with a retriable error, and new submissions
+// get 503.
+//
+// API.md documents the HTTP surface end to end with executable
+// examples; EXPERIMENTS.md ("Sweep service") documents the spec
+// schema's versioning contract.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Config tunes a Server. The zero value is a usable single-shard,
+// single-worker service with a 64-deep queue.
+type Config struct {
+	// Shards is the number of independent worker-pool shards; jobs
+	// join the shortest shard queue at submit time. Default 1.
+	Shards int
+	// Workers is the number of worker goroutines per shard, each
+	// running one job at a time. Default 1.
+	Workers int
+	// QueueDepth bounds each shard's queue; a full queue rejects
+	// submissions with 429. Default 64.
+	QueueDepth int
+	// JobWorkers bounds simulation concurrency inside one job
+	// (experiments.Options.Workers). Default 1: the pool, not the
+	// job, owns machine parallelism.
+	JobWorkers int
+	// DefaultTimeout bounds each job's run time when the spec leaves
+	// timeout_seconds at zero. Zero means unbounded.
+	DefaultTimeout time.Duration
+	// RetryAfter is the hint sent with 429/503 rejections. Default 1s.
+	RetryAfter time.Duration
+	// MaxJobsRetained caps terminal-job retention for status/stream
+	// lookups; the oldest terminal jobs are evicted beyond it.
+	// Default 16384.
+	MaxJobsRetained int
+	// Hooks are optional observation callbacks (nil-checked).
+	Hooks Hooks
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 1
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxJobsRetained <= 0 {
+		c.MaxJobsRetained = 16384
+	}
+	return c
+}
+
+// Server is the sweep service. Create with New, expose with ServeHTTP
+// (it implements http.Handler), stop with Shutdown.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	shards []chan *job
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	terminal []string // terminal job IDs in finish order, for eviction
+	seq      uint64
+	draining bool
+
+	// shutdownOnce makes Shutdown idempotent (a second SIGTERM, or test
+	// cleanup racing an explicit drain, must not double-close stop).
+	shutdownOnce sync.Once
+	shutdownErr  error
+
+	// Job accounting (gauges derived at snapshot time).
+	submitted, rejected, completed, failed, canceled uint64
+	queued, inflight                                 int
+	busySeconds                                      float64
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:  cfg,
+		mux:  http.NewServeMux(),
+		stop: make(chan struct{}),
+		jobs: make(map[string]*job),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, make(chan *job, cfg.QueueDepth))
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for sh := 0; sh < cfg.Shards; sh++ {
+		for w := 0; w < cfg.Workers; w++ {
+			s.wg.Add(1)
+			go s.worker(sh)
+		}
+	}
+	return s
+}
+
+// ServeHTTP dispatches to the job API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Counters snapshots the server's job accounting.
+func (s *Server) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Counters{
+		Submitted:     s.submitted,
+		Rejected:      s.rejected,
+		Completed:     s.completed,
+		Failed:        s.failed,
+		Canceled:      s.canceled,
+		Queued:        s.queued,
+		Inflight:      s.inflight,
+		Workers:       s.cfg.Shards * s.cfg.Workers,
+		WorkersBusy:   s.inflight,
+		BusySeconds:   s.busySeconds,
+		QueueCapacity: s.cfg.Shards * s.cfg.QueueDepth,
+	}
+}
+
+// shardFor picks the shard with the shortest queue (join-shortest-
+// queue), breaking ties by lowest index so the choice is
+// deterministic. Jobs are stateless, so nothing needs hash affinity —
+// and hashing sequential job IDs in fact lands heavily on one shard,
+// rejecting submissions while other shards sit idle.
+func (s *Server) shardFor() int {
+	best, bestLen := 0, len(s.shards[0])
+	for i := 1; i < len(s.shards); i++ {
+		if l := len(s.shards[i]); l < bestLen {
+			best, bestLen = i, l
+		}
+	}
+	return best
+}
+
+// apiError is the JSON error body for non-2xx responses.
+type apiError struct {
+	Error string `json:"error"`
+	// Retriable marks rejections worth retrying after backing off
+	// (queue full, draining) as opposed to permanent ones (validation).
+	Retriable bool `json:"retriable"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// handleSubmit implements POST /v1/jobs: validate, assign an ID,
+// enqueue on the least-loaded shard, 202 with the job status — or
+// 429/503 with Retry-After under backpressure.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode job spec: " + err.Error()})
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	retryAfter := strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second))
+
+	s.mu.Lock()
+	if s.draining {
+		s.rejected++
+		s.mu.Unlock()
+		if s.cfg.Hooks.OnReject != nil {
+			s.cfg.Hooks.OnReject("draining")
+		}
+		w.Header().Set("Retry-After", retryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining", Retriable: true})
+		return
+	}
+	s.seq++
+	id := fmt.Sprintf("job-%08d", s.seq)
+	sh := s.shardFor()
+	runCtx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:         id,
+		spec:       spec,
+		shard:      sh,
+		status:     StatusQueued,
+		enqueuedAt: time.Now(),
+		cancel:     cancel,
+		done:       make(chan struct{}),
+	}
+	j.runCtx = runCtx
+	select {
+	case s.shards[sh] <- j:
+	default:
+		// Bounded queue full: undo the ID grant and push back.
+		s.seq--
+		s.rejected++
+		s.mu.Unlock()
+		cancel()
+		if s.cfg.Hooks.OnReject != nil {
+			s.cfg.Hooks.OnReject("queue full")
+		}
+		w.Header().Set("Retry-After", retryAfter)
+		writeJSON(w, http.StatusTooManyRequests,
+			apiError{Error: fmt.Sprintf("shard %d queue full (%d deep)", sh, s.cfg.QueueDepth), Retriable: true})
+		return
+	}
+	s.jobs[id] = j
+	s.submitted++
+	s.queued++
+	depth := len(s.shards[sh])
+	st := s.statusLocked(j)
+	st.QueueDepth = depth
+	s.mu.Unlock()
+	if s.cfg.Hooks.OnSubmit != nil {
+		s.cfg.Hooks.OnSubmit(id)
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// statusLocked snapshots a job's status; the caller holds s.mu.
+func (s *Server) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		JobID:      j.id,
+		Experiment: j.spec.Experiment,
+		Status:     j.status,
+		Shard:      j.shard,
+		Error:      j.errMsg,
+		Retriable:  j.retriable,
+		EnqueuedAt: rfc3339(j.enqueuedAt),
+		StartedAt:  rfc3339(j.startedAt),
+		FinishedAt: rfc3339(j.finishedAt),
+		Rows:       j.rows,
+	}
+	if !j.startedAt.IsZero() && !j.finishedAt.IsZero() {
+		st.WallSeconds = j.finishedAt.Sub(j.startedAt).Seconds()
+	}
+	return st
+}
+
+// status snapshots a job's status.
+func (s *Server) status(j *job) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statusLocked(j)
+}
+
+// lookup finds a job by ID.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// handleStatus implements GET /v1/jobs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+// handleList implements GET /v1/jobs: every retained job's status,
+// sorted by job ID (submission order, since IDs are sequential).
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, s.statusLocked(j))
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].JobID < out[k].JobID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCancel implements DELETE /v1/jobs/{id}: queued jobs finish
+// immediately as canceled; running jobs get their context canceled and
+// reach the canceled state at the next instruction chunk.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	s.mu.Lock()
+	if j.status == StatusQueued {
+		s.finishLocked(j, nil, errors.New("canceled by client"), StatusCanceled, false)
+	}
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	// Running (or already terminal): cancel is an idempotent signal.
+	j.cancel()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// worker drains one shard's queue until the server stops.
+func (s *Server) worker(sh int) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.shards[sh]:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one dequeued job through the experiment catalog,
+// with the job's cancellation context (plus the per-job timeout)
+// threaded into the simulation loop via experiments.Options.Context.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.status != StatusQueued { // canceled while queued
+		s.mu.Unlock()
+		return
+	}
+	if s.draining {
+		s.finishLocked(j, nil, errors.New("server shutting down before job started; resubmit"), StatusCanceled, true)
+		s.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.startedAt = time.Now()
+	s.queued--
+	s.inflight++
+	timeout := s.cfg.DefaultTimeout
+	if j.spec.TimeoutSeconds > 0 {
+		timeout = time.Duration(j.spec.TimeoutSeconds * float64(time.Second))
+	}
+	s.mu.Unlock()
+
+	ctx := j.runCtx
+	var cancelTimeout context.CancelFunc
+	if timeout > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, timeout)
+		defer cancelTimeout()
+	}
+	opts := j.spec.options(s.cfg.JobWorkers)
+	opts.Context = ctx
+	rep, err := experiments.Run(j.spec.Experiment, opts)
+
+	s.mu.Lock()
+	switch {
+	case err == nil:
+		s.finishLocked(j, rep, nil, StatusDone, false)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.finishLocked(j, nil, fmt.Errorf("job timeout after %s: %w", timeout, err), StatusFailed, false)
+	case errors.Is(err, context.Canceled):
+		// Client cancel, or shutdown grace expiry: retriable only in
+		// the latter case — the spec itself is fine.
+		s.finishLocked(j, nil, err, StatusCanceled, s.draining)
+	default:
+		s.finishLocked(j, nil, err, StatusFailed, false)
+	}
+	s.mu.Unlock()
+}
+
+// finishLocked moves a job to a terminal state, books the counters,
+// and wakes streamers. The caller holds s.mu; hooks fire inline
+// (nil-checked) and must not call back into the server.
+func (s *Server) finishLocked(j *job, rep *experiments.Report, err error, status string, retriable bool) {
+	if j.status == StatusDone || j.status == StatusFailed || j.status == StatusCanceled {
+		return
+	}
+	wasQueued := j.status == StatusQueued
+	wasRunning := j.status == StatusRunning
+	j.finishedAt = time.Now()
+	j.report = rep
+	j.runErr = err
+	j.retriable = retriable
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	if rep != nil {
+		j.rows = rep.Table.NumRows()
+	}
+	j.status = status
+	if wasQueued {
+		s.queued--
+	}
+	if wasRunning {
+		s.inflight--
+		s.busySeconds += j.finishedAt.Sub(j.startedAt).Seconds()
+	}
+	switch status {
+	case StatusDone:
+		s.completed++
+	case StatusFailed:
+		s.failed++
+	case StatusCanceled:
+		s.canceled++
+	}
+	s.terminal = append(s.terminal, j.id)
+	s.evictLocked()
+	close(j.done)
+	if s.cfg.Hooks.OnFinish != nil {
+		s.cfg.Hooks.OnFinish(j.id, status)
+	}
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention cap.
+func (s *Server) evictLocked() {
+	over := len(s.terminal) - s.cfg.MaxJobsRetained
+	for i := 0; i < over; i++ {
+		delete(s.jobs, s.terminal[i])
+	}
+	if over > 0 {
+		s.terminal = append([]string(nil), s.terminal[over:]...)
+	}
+}
+
+// Shutdown drains the server: new submissions get 503, queued jobs
+// fail immediately with a retriable error, and in-flight jobs get
+// until ctx's deadline to finish before their contexts are canceled
+// (aborting the simulations at the next instruction chunk). It returns
+// nil when every job reached a terminal state. Idempotent: later calls
+// return the first call's result without re-draining.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() { s.shutdownErr = s.shutdown(ctx) })
+	return s.shutdownErr
+}
+
+func (s *Server) shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	// Reject everything still queued, retriably: the client should
+	// resubmit elsewhere or after restart.
+	var queued []*job
+	for _, ch := range s.shards {
+	drain:
+		for {
+			select {
+			case j := <-ch:
+				queued = append(queued, j)
+			default:
+				break drain
+			}
+		}
+	}
+	for _, j := range queued {
+		if j.status == StatusQueued {
+			s.finishLocked(j, nil, errors.New("server shutting down before job started; resubmit"), StatusCanceled, true)
+		}
+	}
+	s.mu.Unlock()
+
+	// Wait for in-flight jobs within the grace period.
+	done := make(chan struct{})
+	go func() {
+		for {
+			s.mu.Lock()
+			idle := s.inflight == 0 && s.queued == 0
+			s.mu.Unlock()
+			if idle {
+				close(done)
+				return
+			}
+			select {
+			case <-time.After(10 * time.Millisecond):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var graceErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		graceErr = fmt.Errorf("serve: grace period expired; canceling in-flight jobs: %w", ctx.Err())
+		s.mu.Lock()
+		var inflight []*job
+		//skia:detmap-ok collection order only sequences idempotent cancel() calls; no output depends on it
+		for _, j := range s.jobs {
+			if j.status == StatusRunning || j.status == StatusQueued {
+				inflight = append(inflight, j)
+			}
+		}
+		s.mu.Unlock()
+		for _, j := range inflight {
+			j.cancel()
+		}
+		// Canceled simulations abort at the next chunk; wait for the
+		// workers to book them.
+		for {
+			s.mu.Lock()
+			idle := s.inflight == 0 && s.queued == 0
+			s.mu.Unlock()
+			if idle {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	close(s.stop)
+	s.wg.Wait()
+	return graceErr
+}

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// handleStream implements GET /v1/jobs/{id}/stream: an NDJSON event
+// stream (Content-Type application/x-ndjson). The first line is a
+// `job` status snapshot, flushed immediately so clients see their job
+// was found before it finishes. The handler then blocks until the job
+// reaches a terminal state (or the client goes away) and delivers the
+// result: `columns` + one `row` per table row + optional `intervals`
+// summaries + the full `report` envelope on success, an `error` event
+// on failure — and in every case exactly one final `manifest` event,
+// so counting manifests reconciles jobs exactly. See API.md
+// ("Streaming") for the framing contract.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	st := s.status(j)
+	enc.Encode(StreamEvent{Type: "job", Job: &st})
+	flush()
+
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		return // client went away; the job keeps running
+	}
+
+	st = s.status(j)
+	rows := 0
+	if j.runErr == nil && j.report != nil {
+		rep := j.report
+		enc.Encode(StreamEvent{Type: "columns", Columns: rep.Table.Columns()})
+		for i := 0; i < rep.Table.NumRows(); i++ {
+			enc.Encode(StreamEvent{Type: "row", Row: &Row{Index: i, Cells: rep.Table.Row(i)}})
+			rows++
+		}
+		for i := range rep.Intervals {
+			enc.Encode(StreamEvent{Type: "intervals", Intervals: &rep.Intervals[i]})
+		}
+		enc.Encode(StreamEvent{Type: "report", Report: rep})
+	} else if j.runErr != nil {
+		enc.Encode(StreamEvent{Type: "error", Error: &JobError{Message: st.Error, Retriable: st.Retriable}})
+	}
+	enc.Encode(StreamEvent{Type: "manifest", Manifest: &JobManifest{
+		SchemaVersion: 1,
+		JobID:         st.JobID,
+		Experiment:    st.Experiment,
+		Status:        st.Status,
+		Rows:          rows,
+		WallSeconds:   st.WallSeconds,
+		Error:         st.Error,
+		Retriable:     st.Retriable,
+	}})
+	flush()
+}

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -126,6 +127,13 @@ type Runner struct {
 	// Attrib enables miss attribution on every Run; specs can also opt
 	// in individually via RunSpec.Attrib.
 	Attrib bool
+	// BaseContext, when non-nil, bounds every Run and RunAll call that
+	// does not receive an explicit context: cancellation or deadline
+	// expiry aborts simulations between instruction chunks. nil means
+	// context.Background(). The long-running sweep service
+	// (internal/serve) sets this per job so HTTP cancellation and
+	// per-job timeouts propagate into the simulation loop.
+	BaseContext context.Context
 
 	// All capture below is guarded by mu: Run is called from RunAll's
 	// worker goroutines, and each run's collector lives privately in
@@ -229,11 +237,64 @@ func (r *Runner) Stats() RunnerStats {
 	return st
 }
 
+// ctxCheckChunk is the instruction granularity at which RunContext
+// polls for cancellation. Chunking the cpu.Core.Run window is exact:
+// the core's loop only depends on the cumulative retire target, so N
+// chunked calls retire the same instructions in the same cycles as one
+// call (pinned by TestRunContextChunkingExact).
+const ctxCheckChunk = 262_144
+
+// baseContext resolves the runner's ambient context.
+func (r *Runner) baseContext() context.Context {
+	if r.BaseContext != nil {
+		return r.BaseContext
+	}
+	return context.Background()
+}
+
+// runWindow advances the core by n instructions in ctxCheckChunk
+// slices, aborting between slices once ctx is done. It stops early if
+// the workload ends (the core refuses to retire more). Slices aim at
+// an absolute retired-instruction target: cpu.Core.Run may overshoot
+// each call by up to the retire width, so per-slice deltas would
+// compound into extra instructions, while re-deriving the remainder
+// from the absolute target keeps chunked execution bit-identical to a
+// single Run call.
+func runWindow(ctx context.Context, c *cpu.Core, n uint64) error {
+	target := c.Retired() + n
+	for c.Retired() < target {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		step := target - c.Retired()
+		if step > ctxCheckChunk {
+			step = ctxCheckChunk
+		}
+		if c.Run(step) == 0 {
+			break // workload exhausted
+		}
+	}
+	return ctx.Err()
+}
+
 // Run executes one simulation: build core, warm up, reset statistics,
-// measure.
+// measure. It is RunContext under the runner's BaseContext.
 func (r *Runner) Run(spec RunSpec) (Result, error) {
+	return r.RunContext(r.baseContext(), spec)
+}
+
+// RunContext executes one simulation under ctx: build core, warm up,
+// reset statistics, measure. Cancellation is polled every
+// ctxCheckChunk simulated instructions; an aborted run returns an
+// error wrapping ctx.Err() (test with errors.Is against
+// context.Canceled / context.DeadlineExceeded) and books nothing into
+// the runner's timing counters.
+func (r *Runner) RunContext(ctx context.Context, spec RunSpec) (Result, error) {
 	//skia:nondet-ok wall-clock brackets the run for throughput reporting; no simulated state depends on it
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("sim: %s: %w", spec.Benchmark, err)
+	}
 	w, err := r.Workload(spec.Benchmark)
 	if err != nil {
 		return Result{}, err
@@ -249,7 +310,9 @@ func (r *Runner) Run(spec RunSpec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	c.Run(warm)
+	if err := runWindow(ctx, c, warm); err != nil {
+		return Result{}, fmt.Errorf("sim: %s: warmup aborted: %w", spec.Benchmark, err)
+	}
 	c.ResetStats()
 	// Observability attaches at the warmup boundary so intervals and
 	// traces cover exactly the measurement window the statistics do.
@@ -273,7 +336,9 @@ func (r *Runner) Run(spec RunSpec) (Result, error) {
 		eng = attrib.NewEngine()
 		c.AttachAttribution(eng)
 	}
-	c.Run(meas)
+	if err := runWindow(ctx, c, meas); err != nil {
+		return Result{}, fmt.Errorf("sim: %s: measurement aborted: %w", spec.Benchmark, err)
+	}
 	if err := c.Frontend().Err(); err != nil {
 		return Result{}, fmt.Errorf("sim: %s: %w", spec.Benchmark, err)
 	}
@@ -333,8 +398,17 @@ func (r *Runner) AttributionSummaries() []SpecAttribution {
 // returns results in spec order. Every spec runs to completion even
 // when siblings fail; the returned error joins one entry per failed
 // spec (benchmark and label named), and the result slice still carries
-// the successful entries (failed slots are zero-valued).
+// the successful entries (failed slots are zero-valued). It is
+// RunAllContext under the runner's BaseContext.
 func (r *Runner) RunAll(specs []RunSpec) ([]Result, error) {
+	return r.RunAllContext(r.baseContext(), specs)
+}
+
+// RunAllContext is RunAll under an explicit context. Once ctx is done,
+// in-flight specs abort at their next chunk boundary and queued specs
+// fail immediately without simulating; each affected slot's error
+// wraps ctx.Err().
+func (r *Runner) RunAllContext(ctx context.Context, specs []RunSpec) ([]Result, error) {
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -352,7 +426,7 @@ func (r *Runner) RunAll(specs []RunSpec) ([]Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = r.Run(specs[i])
+			results[i], errs[i] = r.RunContext(ctx, specs[i])
 		}(i)
 	}
 	wg.Wait()
