@@ -47,18 +47,25 @@ type jobOutcome struct {
 	Status         string  `json:"status"`
 	Rows           int     `json:"rows"`
 	LatencySeconds float64 `json:"latency_seconds"`
-	Error          string  `json:"error,omitempty"`
+	// QueueSeconds and RunSeconds are the server-reported split of the
+	// job's life (manifest queue_seconds/run_seconds): shard-queue wait
+	// versus simulation time. Latency regressions attribute to one or
+	// the other.
+	QueueSeconds float64 `json:"queue_seconds,omitempty"`
+	RunSeconds   float64 `json:"run_seconds,omitempty"`
+	TraceID      string  `json:"trace_id,omitempty"`
+	Error        string  `json:"error,omitempty"`
 }
 
 func main() {
 	var (
-		addr    = flag.String("addr", "http://127.0.0.1:8344", "skiaserve base URL")
-		exp     = flag.String("exp", "table1", "experiment id(s), comma-separated; jobs round-robin across them")
-		n       = flag.Int("n", 1, "total jobs to submit")
-		conc    = flag.Int("c", 1, "concurrent clients")
-		warmup  = flag.Uint64("warmup", 0, "warmup instructions per run (0 = default)")
-		measure = flag.Uint64("measure", 0, "measured instructions per run (0 = default)")
-		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: full suite)")
+		addr     = flag.String("addr", "http://127.0.0.1:8344", "skiaserve base URL")
+		exp      = flag.String("exp", "table1", "experiment id(s), comma-separated; jobs round-robin across them")
+		n        = flag.Int("n", 1, "total jobs to submit")
+		conc     = flag.Int("c", 1, "concurrent clients")
+		warmup   = flag.Uint64("warmup", 0, "warmup instructions per run (0 = default)")
+		measure  = flag.Uint64("measure", 0, "measured instructions per run (0 = default)")
+		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: full suite)")
 		interval = flag.Uint64("intervals", 0, "collect interval metrics every N retired instructions (0 = off)")
 		attrib   = flag.Bool("attrib", false, "enable per-cause miss attribution")
 		timeout  = flag.Float64("job-timeout", 0, "per-job timeout_seconds (0 = server default)")
@@ -138,6 +145,11 @@ func run(addr string, exps []string, n, conc int, opts specOpts, outDir, journal
 				if res != nil && res.Status != nil {
 					out.JobID = res.Status.JobID
 				}
+				if res != nil && res.Manifest != nil {
+					out.QueueSeconds = res.Manifest.QueueSeconds
+					out.RunSeconds = res.Manifest.RunSeconds
+					out.TraceID = res.Manifest.TraceID
+				}
 				switch {
 				case err != nil && res != nil && res.Manifest != nil:
 					out.Status = res.Manifest.Status
@@ -170,13 +182,15 @@ func run(addr string, exps []string, n, conc int, opts specOpts, outDir, journal
 	// Reconcile: count outcomes, collect latencies, detect lost or
 	// duplicated jobs (every accepted job must report exactly one
 	// manifest with a unique job ID).
-	var lats []time.Duration
+	var lats, queueLats, runLats []time.Duration
 	counts := map[string]int{}
 	ids := map[string]int{}
 	var failures []string
 	for _, r := range results {
 		counts[r.outcome.Status]++
 		lats = append(lats, time.Duration(r.outcome.LatencySeconds*float64(time.Second)))
+		queueLats = append(queueLats, time.Duration(r.outcome.QueueSeconds*float64(time.Second)))
+		runLats = append(runLats, time.Duration(r.outcome.RunSeconds*float64(time.Second)))
 		if r.outcome.JobID != "" {
 			ids[r.outcome.JobID]++
 		}
@@ -205,15 +219,23 @@ func run(addr string, exps []string, n, conc int, opts specOpts, outDir, journal
 	}
 
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	sort.Slice(queueLats, func(i, j int) bool { return queueLats[i] < queueLats[j] })
+	sort.Slice(runLats, func(i, j int) bool { return runLats[i] < runLats[j] })
 	fmt.Printf("%d jobs in %s (%.1f jobs/s), %d concurrent clients\n",
 		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), conc)
 	fmt.Printf("status: done=%d failed=%d canceled=%d lost=%d duplicated=%d\n",
 		counts[serve.StatusDone], counts[serve.StatusFailed], counts[serve.StatusCanceled],
 		counts["lost"], dups)
 	p50, p90, p99 := percentile(lats, 0.50), percentile(lats, 0.90), percentile(lats, 0.99)
-	fmt.Printf("latency: p50=%s p90=%s p99=%s max=%s\n",
+	queueP50, queueP99 := percentile(queueLats, 0.50), percentile(queueLats, 0.99)
+	runP50, runP99 := percentile(runLats, 0.50), percentile(runLats, 0.99)
+	fmt.Printf("latency (total): p50=%s p90=%s p99=%s max=%s\n",
 		p50.Round(time.Microsecond), p90.Round(time.Microsecond),
 		p99.Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	fmt.Printf("latency (queue wait): p50=%s p99=%s\n",
+		queueP50.Round(time.Microsecond), queueP99.Round(time.Microsecond))
+	fmt.Printf("latency (run time):   p50=%s p99=%s\n",
+		runP50.Round(time.Microsecond), runP99.Round(time.Microsecond))
 
 	if len(failures) > 0 {
 		for _, f := range failures {
@@ -225,7 +247,15 @@ func run(addr string, exps []string, n, conc int, opts specOpts, outDir, journal
 		return fmt.Errorf("%d duplicated job IDs", dups)
 	}
 	if maxP99 > 0 && p99 > maxP99 {
-		return fmt.Errorf("p99 latency %s exceeds gate %s", p99, maxP99)
+		// Name the component that blew the budget, so the gate failure
+		// says whether to add workers (queue wait) or shrink the jobs
+		// (run time).
+		component := "queue wait"
+		if runP99 >= queueP99 {
+			component = "run time"
+		}
+		return fmt.Errorf("p99 latency %s exceeds gate %s: %s dominates (queue-wait p99 %s, run-time p99 %s)",
+			p99, maxP99, component, queueP99.Round(time.Microsecond), runP99.Round(time.Microsecond))
 	}
 	return nil
 }

@@ -3,7 +3,8 @@
 // envelope's JSON vocabulary) on an HTTP job API, runs them on a
 // sharded bounded-queue worker pool, and streams results back as
 // NDJSON. See API.md for the full HTTP surface and a curl quickstart;
-// cmd/skiactl is the matching load-generating client.
+// cmd/skiactl is the matching load-generating client and cmd/skiatop
+// the live terminal dashboard over /metrics and /v1/jobs.
 //
 // Usage:
 //
@@ -11,6 +12,12 @@
 //	skiaserve -addr 127.0.0.1:0                # ephemeral port (printed)
 //	skiaserve -shards 4 -workers 2 -queue 256  # 8 workers, 1024 queued
 //	skiaserve -job-timeout 5m -grace 30s
+//	skiaserve -log json -log-level debug       # structured job logs
+//
+// Job lifecycle events (accept/start/finish/reject/drain) are logged
+// structurally via log/slog with job-scoped attributes; -log selects
+// text, json, or off, and -log-level debug additionally logs per-chunk
+// simulation progress.
 //
 // SIGINT/SIGTERM begin a graceful drain: /healthz flips to 503, new
 // submissions are rejected retriably, queued jobs fail fast with a
@@ -22,7 +29,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -35,43 +42,74 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8344", "listen address (host:port; port 0 picks one)")
-		shards  = flag.Int("shards", 1, "worker-pool shards (jobs join the shortest shard queue)")
-		workers = flag.Int("workers", 1, "worker goroutines per shard")
-		queue   = flag.Int("queue", 64, "bounded queue depth per shard (full queue => 429)")
+		addr       = flag.String("addr", ":8344", "listen address (host:port; port 0 picks one)")
+		shards     = flag.Int("shards", 1, "worker-pool shards (jobs join the shortest shard queue)")
+		workers    = flag.Int("workers", 1, "worker goroutines per shard")
+		queue      = flag.Int("queue", 64, "bounded queue depth per shard (full queue => 429)")
 		jobWorkers = flag.Int("job-workers", 1, "simulation concurrency inside one job")
 		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "default per-job run timeout (0 = unbounded)")
 		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 rejections")
 		grace      = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight jobs")
-		verbose    = flag.Bool("v", false, "log job lifecycle events")
+		progressIv = flag.Duration("progress-interval", time.Second, "stream progress-frame rate limit (negative disables)")
+		logFormat  = flag.String("log", "text", "job lifecycle log format: text, json, or off")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		verbose    = flag.Bool("v", false, "shorthand for -log-level debug")
 	)
 	flag.Parse()
 
-	cfg := serve.Config{
-		Shards:         *shards,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		JobWorkers:     *jobWorkers,
-		DefaultTimeout: *jobTimeout,
-		RetryAfter:     *retryAfter,
+	logger, err := buildLogger(*logFormat, *logLevel, *verbose)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skiaserve: %v\n", err)
+		os.Exit(2)
 	}
-	logger := log.New(os.Stderr, "skiaserve: ", log.LstdFlags|log.Lmicroseconds)
-	if *verbose {
-		cfg.Hooks.OnSubmit = func(id string) { logger.Printf("submit %s", id) }
-		cfg.Hooks.OnFinish = func(id, status string) { logger.Printf("finish %s %s", id, status) }
-		cfg.Hooks.OnReject = func(reason string) { logger.Printf("reject: %s", reason) }
+
+	cfg := serve.Config{
+		Shards:           *shards,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		JobWorkers:       *jobWorkers,
+		DefaultTimeout:   *jobTimeout,
+		RetryAfter:       *retryAfter,
+		ProgressInterval: *progressIv,
+		Logger:           logger,
+	}
+	if logger != nil && logger.Enabled(context.Background(), slog.LevelDebug) {
+		// The lifecycle hooks duplicate the server's own Info-level
+		// records but fire synchronously at the transition point, which
+		// is the ordering debugging needs; progress is chatty (one
+		// callback per 262,144 retired instructions per job). Both only
+		// exist at debug level.
+		cfg.Hooks.OnSubmit = func(id string) {
+			logger.Debug("hook: job enqueued", "job_id", id)
+		}
+		cfg.Hooks.OnFinish = func(id, status string) {
+			logger.Debug("hook: job finished", "job_id", id, "status", status)
+		}
+		cfg.Hooks.OnReject = func(reason string) {
+			logger.Debug("hook: job rejected", "reason", reason)
+		}
+		cfg.Hooks.OnProgress = func(id string, done, planned uint64) {
+			logger.Debug("job progress", "job_id", id, "retired", done, "planned", planned)
+		}
 	}
 	srv := serve.New(cfg)
 
+	fatal := func(err error) {
+		fmt.Fprintf(os.Stderr, "skiaserve: %v\n", err)
+		os.Exit(1)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 	// Machine-readable first line so harnesses (CI smoke, skiactl
 	// wrappers) can scrape the bound address under -addr :0.
 	fmt.Printf("skiaserve listening on %s\n", ln.Addr())
-	logger.Printf("%d shard(s) x %d worker(s), queue %d/shard, job timeout %s",
-		cfg.Shards, cfg.Workers, cfg.QueueDepth, *jobTimeout)
+	if logger != nil {
+		logger.Info("serving",
+			"addr", ln.Addr().String(), "shards", cfg.Shards, "workers", cfg.Workers,
+			"queue_depth", cfg.QueueDepth, "job_timeout", jobTimeout.String())
+	}
 
 	hs := &http.Server{Handler: srv}
 	errc := make(chan error, 1)
@@ -81,22 +119,60 @@ func main() {
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		logger.Printf("received %s; draining (grace %s)", sig, *grace)
+		if logger != nil {
+			logger.Info("signal received; draining", "signal", sig.String(), "grace", grace.String())
+		}
 	case err := <-errc:
-		logger.Fatal(err)
+		fatal(err)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		logger.Printf("drain: %v", err)
+	if err := srv.Shutdown(ctx); err != nil && logger != nil {
+		logger.Warn("drain", "err", err.Error())
 	}
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
-	if err := hs.Shutdown(shutCtx); err != nil {
-		logger.Printf("http shutdown: %v", err)
+	if err := hs.Shutdown(shutCtx); err != nil && logger != nil {
+		logger.Warn("http shutdown", "err", err.Error())
 	}
 	c := srv.Counters()
-	logger.Printf("drained: %d completed, %d failed, %d canceled, %d rejected",
-		c.Completed, c.Failed, c.Canceled, c.Rejected)
+	if logger != nil {
+		logger.Info("drained",
+			"completed", c.Completed, "failed", c.Failed,
+			"canceled", c.Canceled, "rejected", c.Rejected)
+	}
+}
+
+// buildLogger assembles the slog.Logger the server's lifecycle records
+// go to; nil (format "off") disables logging entirely.
+func buildLogger(format, level string, verbose bool) (*slog.Logger, error) {
+	if format == "off" {
+		return nil, nil
+	}
+	var lv slog.Level
+	if verbose {
+		level = "debug"
+	}
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log format %q (want text, json, or off)", format)
+	}
 }

@@ -1,0 +1,249 @@
+// Command skiatop is a terminal dashboard over a running skiaserve: it
+// polls /metrics, /healthz, and /v1/jobs and renders shard queue
+// occupancy, worker utilization, latency percentiles (from the
+// /metrics log2-bucket histograms), and per-job progress bars with
+// simulated MIPS and ETA — the service's whole observability surface
+// on one screen.
+//
+// Usage:
+//
+//	skiatop -addr http://127.0.0.1:8344              # refresh every 1s
+//	skiatop -addr $URL -interval 250ms -jobs 20
+//	skiatop -addr $URL -once                         # one frame, no ANSI (CI smoke)
+//
+// skiatop is a pure client: it renders only what the HTTP surface
+// exposes, so anything visible here is equally available to curl.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8344", "skiaserve base URL")
+		interval = flag.Duration("interval", time.Second, "refresh interval")
+		jobRows  = flag.Int("jobs", 12, "max job rows to display")
+		once     = flag.Bool("once", false, "render a single frame without ANSI control codes and exit")
+	)
+	flag.Parse()
+
+	if *once {
+		frame, err := buildFrame(*addr, *jobRows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skiatop: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(frame)
+		return
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		frame, err := buildFrame(*addr, *jobRows)
+		if err != nil {
+			frame = fmt.Sprintf("skiatop: %v (retrying)\n", err)
+		}
+		// Clear screen + home, then the frame.
+		fmt.Print("\x1b[2J\x1b[H" + frame)
+		select {
+		case <-sigc:
+			fmt.Println()
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// buildFrame fetches the three endpoints and renders one dashboard
+// frame.
+func buildFrame(addr string, jobRows int) (string, error) {
+	snap, err := scrapeMetrics(addr + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	health, err := fetchHealth(addr + "/healthz")
+	if err != nil {
+		return "", err
+	}
+	jobs, err := fetchJobs(addr + "/v1/jobs")
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	renderFrame(&b, addr, snap, health, jobs, jobRows)
+	return b.String(), nil
+}
+
+func fetchHealth(url string) (*serve.Health, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	// Draining servers answer 503 with the same body; both render.
+	var h serve.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("decode healthz: %w", err)
+	}
+	return &h, nil
+}
+
+func fetchJobs(url string) ([]serve.JobStatus, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("jobs: http %d", resp.StatusCode)
+	}
+	var jobs []serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		return nil, fmt.Errorf("decode jobs: %w", err)
+	}
+	return jobs, nil
+}
+
+func scrapeMetrics(url string) (*metricsSnapshot, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: http %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	return parseMetrics(string(data))
+}
+
+// renderFrame writes one dashboard frame: header, shard queues,
+// latency percentiles, job table.
+func renderFrame(b *strings.Builder, addr string, m *metricsSnapshot, h *serve.Health, jobs []serve.JobStatus, jobRows int) {
+	status := h.Status
+	fmt.Fprintf(b, "skiatop  %s  status=%s  workers %d/%d busy  queued %d  inflight %d\n",
+		addr, status, h.WorkersBusy, h.Workers, h.Queued, h.Inflight)
+	fmt.Fprintf(b, "jobs: submitted=%d done=%d failed=%d canceled=%d rejected=%d\n",
+		uint64(m.scalar("jobs_submitted_total")), uint64(m.scalar("jobs_completed_total")),
+		uint64(m.scalar("jobs_failed_total")), uint64(m.scalar("jobs_canceled_total")),
+		uint64(m.scalar("jobs_rejected_total")))
+
+	for _, sh := range h.Shards {
+		fmt.Fprintf(b, "shard %d  %s %d/%d\n",
+			sh.Shard, bar(float64(sh.QueueDepth), float64(sh.QueueCapacity), 20),
+			sh.QueueDepth, sh.QueueCapacity)
+	}
+
+	line := func(label, hist string) {
+		hd, ok := m.hists[hist]
+		if !ok || hd.count == 0 {
+			fmt.Fprintf(b, "%-22s (no samples)\n", label)
+			return
+		}
+		fmt.Fprintf(b, "%-22s p50<=%s  p99<=%s  n=%d\n",
+			label, fmtSeconds(hd.quantile(0.50)), fmtSeconds(hd.quantile(0.99)), hd.count)
+	}
+	line("queue wait", "job_queue_wait_seconds")
+	line("run time", "job_run_seconds")
+	for _, route := range []string{"submit", "status", "stream"} {
+		line("http "+route, `http_request_seconds{route="`+route+`"}`)
+	}
+
+	// Jobs: running first (with progress bars), then queued, then the
+	// most recent terminal ones, up to jobRows.
+	sort.SliceStable(jobs, func(i, k int) bool {
+		return jobOrder(jobs[i].Status) < jobOrder(jobs[k].Status)
+	})
+	shown := 0
+	for _, j := range jobs {
+		if shown >= jobRows {
+			fmt.Fprintf(b, "… %d more jobs\n", len(jobs)-shown)
+			break
+		}
+		shown++
+		switch j.Status {
+		case serve.StatusRunning:
+			p := j.Progress
+			if p == nil {
+				fmt.Fprintf(b, "%s %-8s running\n", j.JobID, j.Experiment)
+				continue
+			}
+			eta := ""
+			if p.ETASeconds > 0 {
+				eta = fmt.Sprintf("  eta %s", fmtSeconds(p.ETASeconds))
+			}
+			fmt.Fprintf(b, "%s %-8s %s %5.1f%%  %6.1f MIPS%s\n",
+				j.JobID, j.Experiment, bar(p.Fraction, 1, 20), p.Fraction*100, p.SimMIPS, eta)
+		case serve.StatusQueued:
+			wait := ""
+			if j.Progress != nil {
+				wait = fmt.Sprintf("  waiting %s", fmtSeconds(j.Progress.QueueSeconds))
+			}
+			fmt.Fprintf(b, "%s %-8s queued on shard %d%s\n", j.JobID, j.Experiment, j.Shard, wait)
+		default:
+			fmt.Fprintf(b, "%s %-8s %s  wall %s\n",
+				j.JobID, j.Experiment, j.Status, fmtSeconds(j.WallSeconds))
+		}
+	}
+}
+
+func jobOrder(status string) int {
+	switch status {
+	case serve.StatusRunning:
+		return 0
+	case serve.StatusQueued:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// bar renders a fixed-width occupancy bar.
+func bar(v, max float64, width int) string {
+	if max <= 0 {
+		max = 1
+	}
+	f := v / max
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	full := int(f * float64(width))
+	return "[" + strings.Repeat("#", full) + strings.Repeat(".", width-full) + "]"
+}
+
+// fmtSeconds renders a duration in seconds at a human scale.
+func fmtSeconds(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second).String()
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// metricsSnapshot is one parsed /metrics scrape: unlabeled scalars by
+// short name (the skiaserve_ prefix stripped) and histograms by
+// "name" or "name{labels}" series key.
+type metricsSnapshot struct {
+	scalars map[string]float64
+	hists   map[string]*promHistogram
+}
+
+// promHistogram reassembles one exposition-format histogram series:
+// ascending bucket upper bounds with cumulative counts, plus sum and
+// count.
+type promHistogram struct {
+	bounds []float64 // ascending; +Inf is implicit via count
+	counts []uint64  // cumulative, aligned with bounds
+	sum    float64
+	count  uint64
+}
+
+// quantile returns the upper bound of the first bucket covering the
+// q-quantile — the same "p99 <= bound" reading Prometheus'
+// histogram_quantile gives, without interpolation.
+func (h *promHistogram) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	for i, c := range h.counts {
+		if c >= target {
+			return h.bounds[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+func (m *metricsSnapshot) scalar(name string) float64 { return m.scalars[name] }
+
+// parseMetrics parses the Prometheus text exposition format far enough
+// for the dashboard: skiaserve_-prefixed scalar lines and histogram
+// _bucket/_sum/_count series. Comment lines (# HELP/# TYPE) are
+// skipped; unknown metrics are retained as scalars.
+func parseMetrics(text string) (*metricsSnapshot, error) {
+	m := &metricsSnapshot{
+		scalars: map[string]float64{},
+		hists:   map[string]*promHistogram{},
+	}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("metrics line %q: no value", line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %q: %v", line, err)
+		}
+		name, labels := splitSeries(series)
+		name = strings.TrimPrefix(name, "skiaserve_")
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			base := strings.TrimSuffix(name, "_bucket")
+			le, rest := extractLabel(labels, "le")
+			h := m.hist(histKey(base, rest))
+			if le == "+Inf" {
+				// The +Inf bucket equals _count; recorded there.
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return nil, fmt.Errorf("metrics line %q: bad le: %v", line, err)
+			}
+			h.bounds = append(h.bounds, bound)
+			h.counts = append(h.counts, uint64(val))
+		case strings.HasSuffix(name, "_sum"):
+			m.hist(histKey(strings.TrimSuffix(name, "_sum"), labels)).sum = val
+		case strings.HasSuffix(name, "_count"):
+			m.hist(histKey(strings.TrimSuffix(name, "_count"), labels)).count = uint64(val)
+		case labels == "":
+			m.scalars[name] = val
+		default:
+			m.scalars[name+"{"+labels+"}"] = val
+		}
+	}
+	return m, nil
+}
+
+func (m *metricsSnapshot) hist(key string) *promHistogram {
+	h := m.hists[key]
+	if h == nil {
+		h = &promHistogram{}
+		m.hists[key] = h
+	}
+	return h
+}
+
+func histKey(base, labels string) string {
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
+}
+
+// splitSeries splits `name{labels}` into name and the raw label body.
+func splitSeries(series string) (name, labels string) {
+	open := strings.IndexByte(series, '{')
+	if open < 0 {
+		return series, ""
+	}
+	close := strings.LastIndexByte(series, '}')
+	if close < open {
+		return series, ""
+	}
+	return series[:open], series[open+1 : close]
+}
+
+// extractLabel removes one label pair from a label body, returning its
+// value and the remaining labels. Good enough for the exposition
+// format skiaserve emits (no escaped quotes in label values).
+func extractLabel(labels, key string) (value, rest string) {
+	var kept []string
+	for _, part := range strings.Split(labels, ",") {
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if ok && k == key {
+			value = strings.Trim(v, `"`)
+			continue
+		}
+		kept = append(kept, part)
+	}
+	return value, strings.Join(kept, ",")
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleScrape = `# HELP skiaserve_jobs_submitted_total Jobs accepted (HTTP 202).
+# TYPE skiaserve_jobs_submitted_total counter
+skiaserve_jobs_submitted_total 32
+skiaserve_jobs_queued 3
+skiaserve_draining 0
+skiaserve_shard_queue_depth{shard="0"} 2
+skiaserve_shard_queue_depth{shard="1"} 1
+# TYPE skiaserve_job_run_seconds histogram
+skiaserve_job_run_seconds_bucket{le="0.25"} 10
+skiaserve_job_run_seconds_bucket{le="0.5"} 25
+skiaserve_job_run_seconds_bucket{le="1"} 31
+skiaserve_job_run_seconds_bucket{le="+Inf"} 32
+skiaserve_job_run_seconds_sum 14.500000
+skiaserve_job_run_seconds_count 32
+skiaserve_http_request_seconds_bucket{route="submit",le="0.001"} 30
+skiaserve_http_request_seconds_bucket{route="submit",le="+Inf"} 32
+skiaserve_http_request_seconds_sum{route="submit"} 0.040000
+skiaserve_http_request_seconds_count{route="submit"} 32
+`
+
+func TestParseMetricsScalarsAndShards(t *testing.T) {
+	m, err := parseMetrics(sampleScrape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.scalar("jobs_submitted_total"); got != 32 {
+		t.Errorf("submitted = %v", got)
+	}
+	if got := m.scalar("jobs_queued"); got != 3 {
+		t.Errorf("queued = %v", got)
+	}
+	if got := m.scalar(`shard_queue_depth{shard="1"}`); got != 1 {
+		t.Errorf("shard 1 depth = %v", got)
+	}
+}
+
+func TestParseMetricsHistogram(t *testing.T) {
+	m, err := parseMetrics(sampleScrape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.hists["job_run_seconds"]
+	if h == nil {
+		t.Fatal("no job_run_seconds histogram")
+	}
+	if h.count != 32 || h.sum != 14.5 {
+		t.Errorf("count=%d sum=%v", h.count, h.sum)
+	}
+	if len(h.bounds) != 3 {
+		t.Fatalf("bounds = %v (+Inf must be implicit)", h.bounds)
+	}
+	// p50 of 32 samples: target 16 -> first bucket with count >= 16 is
+	// le=0.5. p99: target 32 -> beyond the finite buckets -> +Inf.
+	if q := h.quantile(0.50); q != 0.5 {
+		t.Errorf("p50 = %v, want 0.5", q)
+	}
+	if q := h.quantile(0.99); !math.IsInf(q, 1) {
+		t.Errorf("p99 = %v, want +Inf", q)
+	}
+	// Labeled series key includes the remaining labels.
+	hr := m.hists[`http_request_seconds{route="submit"}`]
+	if hr == nil || hr.count != 32 {
+		t.Fatalf("labeled histogram = %+v", hr)
+	}
+	if q := hr.quantile(0.5); q != 0.001 {
+		t.Errorf("submit p50 = %v, want 0.001", q)
+	}
+}
+
+func TestQuantileEmptyAndSingle(t *testing.T) {
+	var h promHistogram
+	if q := h.quantile(0.99); q != 0 {
+		t.Errorf("empty histogram quantile = %v", q)
+	}
+	h = promHistogram{bounds: []float64{2}, counts: []uint64{1}, count: 1}
+	if q := h.quantile(0.5); q != 2 {
+		t.Errorf("single-sample p50 = %v", q)
+	}
+}
+
+func TestBarAndFmtSeconds(t *testing.T) {
+	if got := bar(0, 1, 4); got != "[....]" {
+		t.Errorf("empty bar = %q", got)
+	}
+	if got := bar(1, 1, 4); got != "[####]" {
+		t.Errorf("full bar = %q", got)
+	}
+	if got := bar(3, 2, 4); got != "[####]" {
+		t.Errorf("overfull bar = %q (must clamp)", got)
+	}
+	if got := fmtSeconds(90); got != "1m30s" {
+		t.Errorf("fmtSeconds(90) = %q", got)
+	}
+	if got := fmtSeconds(0.5); !strings.HasSuffix(got, "ms") {
+		t.Errorf("fmtSeconds(0.5) = %q", got)
+	}
+}

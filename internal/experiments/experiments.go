@@ -59,6 +59,13 @@ type Options struct {
 	// ctx.Err(). nil means no bound. The sweep service
 	// (internal/serve) sets this per job.
 	Context context.Context
+	// Progress, when non-nil, receives cumulative live progress from
+	// the harness's runner (see sim.Runner.OnProgress): instructions
+	// retired so far and the planned total, published at every
+	// instruction-chunk boundary. Called concurrently from simulation
+	// worker goroutines. The sweep service sets this per job to expose
+	// progress, simulated MIPS, and ETA over the job API.
+	Progress func(done, planned uint64)
 }
 
 func (o Options) benchmarks() []string {
@@ -74,6 +81,7 @@ func (o Options) runner() *sim.Runner {
 	r.Interval = o.Interval
 	r.Attrib = o.Attrib
 	r.BaseContext = o.Context
+	r.OnProgress = o.Progress
 	return r
 }
 

@@ -19,7 +19,10 @@ import (
 //     (report/table assembly, a conservation check, or a test), or
 //     carried on a serialized schema via a json struct tag. A counter
 //     that is bumped but never read is either dead weight or, worse, a
-//     result someone believes is published when it is not.
+//     result someone believes is published when it is not. Histogram
+//     fields (serve.ServiceStats and friends) follow the same rule
+//     with Observe as the increment: a histogram that accumulates
+//     samples nobody renders is the same dead weight.
 //
 //  2. Hook pairing: every func-typed struct field named On* (OnEvict,
 //     OnRemove, OnHeadPaths, …) must have at least one non-nil
@@ -69,7 +72,7 @@ func checkCounters(pass *ProgramPass) {
 			}
 			for i := 0; i < st.NumFields(); i++ {
 				f := st.Field(i)
-				if b, ok := f.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsNumeric == 0 {
+				if !isCounterLike(f.Type()) {
 					continue
 				}
 				tag := reflect.StructTag(st.Tag(i)).Get("json")
@@ -123,6 +126,15 @@ func checkCounters(pass *ProgramPass) {
 							}
 						}
 					}
+				case *ast.CallExpr:
+					// h.Observe(v) on a tracked Histogram field is its
+					// increment form, not a read.
+					if sel, ok := st.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Observe" {
+						if f := fieldOf(sel.X); f != nil && isHistogram(f.Type()) {
+							incremented[f] = true
+							writeTargets[sel.X] = true
+						}
+					}
 				}
 				return true
 			})
@@ -161,6 +173,24 @@ func checkCounters(pass *ProgramPass) {
 	for _, cf := range out {
 		pass.Reportf(cf.pos, "counter %s.%s is incremented but never read by a report, table, test, or json schema: export it or delete it", cf.owner, cf.obj.Name())
 	}
+}
+
+// isCounterLike reports whether a *Stats field participates in counter
+// conservation: numeric basics (classic counters/gauges) and Histogram
+// fields, whose Observe calls are their increments.
+func isCounterLike(t types.Type) bool {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		return b.Info()&types.IsNumeric != 0
+	}
+	return isHistogram(t)
+}
+
+// isHistogram matches named Histogram types (stats.Histogram, or a
+// fixture-local equivalent) by name: the analyzer cares about the
+// Observe-accumulates/render-consumes shape, not the concrete package.
+func isHistogram(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Histogram"
 }
 
 // hookField is one On* func-typed struct field.

@@ -26,3 +26,22 @@ func export(s *FooStats) uint64 { return s.Used }
 func wire(p *Probe) {
 	p.OnNoop = func(pc uint64) {} // want `empty func literal`
 }
+
+// Histogram stands in for stats.Histogram; Observe is the increment.
+type Histogram struct{ n uint64 }
+
+func (h *Histogram) Observe(v float64) { h.n++ }
+func (h *Histogram) Count() uint64     { return h.n }
+
+// LatStats accumulates Ghost samples that no renderer ever consumes.
+type LatStats struct {
+	Seen  Histogram
+	Ghost Histogram // want `incremented but never read`
+}
+
+func observeHist(s *LatStats) {
+	s.Seen.Observe(0.5)
+	s.Ghost.Observe(1.5)
+}
+
+func renderHist(s *LatStats) uint64 { return s.Seen.Count() }

@@ -25,3 +25,26 @@ type pruner struct{ gone map[uint64]bool }
 func wire(p *Probe, k *pruner) {
 	p.OnEvict = func(pc uint64) { delete(k.gone, pc) }
 }
+
+// Histogram stands in for stats.Histogram: Observe accumulates, any
+// other use (render, snapshot, address-of) counts as a read.
+type Histogram struct{ n uint64 }
+
+func (h *Histogram) Observe(v float64) { h.n++ }
+func (h *Histogram) Count() uint64     { return h.n }
+
+// LatStats exports both histograms: Wait by a rendered quantile read,
+// Run via an address-of snapshot (the renderMetrics idiom).
+type LatStats struct {
+	Wait Histogram
+	Run  Histogram
+}
+
+func observe(s *LatStats) {
+	s.Wait.Observe(0.5)
+	s.Run.Observe(1.5)
+}
+
+func render(s *LatStats) uint64 { return s.Wait.Count() + snapshot(&s.Run) }
+
+func snapshot(h *Histogram) uint64 { return h.Count() }

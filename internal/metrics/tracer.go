@@ -173,9 +173,12 @@ func (t *RingTracer) WriteChromeTrace(w io.Writer) error {
 // ph "M" rows are metadata naming processes/threads, ph "i" rows are
 // instant events. Perfetto and chrome://tracing load this directly.
 type chromeEvent struct {
-	Name  string         `json:"name"`
-	Phase string         `json:"ph"`
-	TS    uint64         `json:"ts"`
+	Name  string `json:"name"`
+	Phase string `json:"ph"`
+	TS    uint64 `json:"ts"`
+	// Dur is the duration of ph "X" complete events (span exports);
+	// instant events leave it zero and omitted.
+	Dur   uint64         `json:"dur,omitempty"`
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`

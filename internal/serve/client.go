@@ -31,6 +31,11 @@ type Client struct {
 	// uniformly in [delay/2, delay]. A Retry-After hint overrides the
 	// schedule when larger.
 	Backoff, MaxBackoff time.Duration
+	// Traceparent, when non-nil, supplies the W3C `traceparent` header
+	// for each submission attempt. When nil, Submit generates one from
+	// the client's seeded RNG, so the server's job spans root under a
+	// client-side trace and fixed seeds yield reproducible trace IDs.
+	Traceparent func() string
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -54,6 +59,29 @@ func (c *Client) maxAttempts() int {
 		return c.MaxAttempts
 	}
 	return 8
+}
+
+// traceparent returns the header value for one submission: the
+// Traceparent override when set, otherwise a sampled W3C traceparent
+// with RNG-drawn trace and span IDs (zero IDs are invalid, so zero
+// draws are bumped).
+func (c *Client) traceparent() string {
+	if c.Traceparent != nil {
+		return c.Traceparent()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(1))
+	}
+	hi, lo, span := c.rng.Uint64(), c.rng.Uint64(), c.rng.Uint64()
+	if hi == 0 && lo == 0 {
+		lo = 1
+	}
+	if span == 0 {
+		span = 1
+	}
+	return fmt.Sprintf("00-%016x%016x-%016x-01", hi, lo, span)
 }
 
 // jitter returns a uniformly jittered delay in [d/2, d].
@@ -123,6 +151,7 @@ func (c *Client) Submit(ctx context.Context, spec JobSpec) (*JobStatus, error) {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("traceparent", c.traceparent())
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
 			if ctx.Err() != nil {

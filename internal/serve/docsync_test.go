@@ -70,7 +70,7 @@ func TestAPIStreamExampleDecodes(t *testing.T) {
 	example := extractFenced(t, readDoc(t, "../../API.md"), "API.md", "### Example: result stream", "ndjson")
 	manifest, err := serve.ParseStream(strings.NewReader(example), func(ev serve.StreamEvent) error {
 		switch ev.Type {
-		case "job", "columns", "row", "intervals", "report", "error", "manifest":
+		case "job", "progress", "columns", "row", "intervals", "report", "error", "manifest":
 		default:
 			t.Errorf("documented stream has unknown event type %q", ev.Type)
 		}
@@ -128,7 +128,7 @@ func TestDocsMentionEverySpecField(t *testing.T) {
 			t.Errorf("EXPERIMENTS.md (Sweep service) does not mention JobSpec field %q", tag)
 		}
 	}
-	for _, v := range []any{serve.JobManifest{}, serve.JobError{}} {
+	for _, v := range []any{serve.JobManifest{}, serve.JobError{}, serve.JobProgress{}, serve.Health{}, serve.ShardHealth{}} {
 		for _, tag := range jsonTags(t, v) {
 			if !strings.Contains(api, "`"+tag+"`") {
 				t.Errorf("API.md does not document %T field %q", v, tag)
@@ -136,7 +136,7 @@ func TestDocsMentionEverySpecField(t *testing.T) {
 		}
 	}
 	// The stream event types themselves.
-	for _, typ := range []string{"job", "columns", "row", "intervals", "report", "error", "manifest"} {
+	for _, typ := range []string{"job", "progress", "columns", "row", "intervals", "report", "error", "manifest"} {
 		if !strings.Contains(api, "`"+typ+"`") {
 			t.Errorf("API.md does not document stream event type %q", typ)
 		}

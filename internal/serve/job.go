@@ -3,9 +3,11 @@ package serve
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -122,12 +124,46 @@ type JobStatus struct {
 	Retriable bool   `json:"retriable,omitempty"`
 	// Timestamps are RFC 3339 with subsecond precision; unset phases
 	// are omitted.
-	EnqueuedAt  string `json:"enqueued_at,omitempty"`
-	StartedAt   string `json:"started_at,omitempty"`
-	FinishedAt  string `json:"finished_at,omitempty"`
+	EnqueuedAt  string  `json:"enqueued_at,omitempty"`
+	StartedAt   string  `json:"started_at,omitempty"`
+	FinishedAt  string  `json:"finished_at,omitempty"`
 	WallSeconds float64 `json:"wall_seconds,omitempty"`
 	// Rows counts the result table's data rows once the job is done.
 	Rows int `json:"rows,omitempty"`
+	// TraceID is the W3C trace the job's spans belong to: the
+	// submitter's trace when the request carried a valid `traceparent`
+	// header, otherwise a self-rooted one derived from the job ID.
+	TraceID string `json:"trace_id,omitempty"`
+	// Progress carries live execution progress (instructions retired,
+	// simulated MIPS, ETA) once the job has a plan; nil while queued.
+	Progress *JobProgress `json:"progress,omitempty"`
+}
+
+// JobProgress is live execution progress: the payload of stream
+// `progress` events and the `progress` field of a running or terminal
+// job's status. Counts come from the simulator's instruction-chunk
+// checkpoints (every 262,144 retired instructions), so a long window
+// updates a few times per simulated second at typical MIPS.
+type JobProgress struct {
+	// InstructionsRetired and InstructionsPlanned are cumulative over
+	// every simulation the job runs; planned is registered up front so
+	// Fraction's denominator is stable from the first checkpoint.
+	InstructionsRetired uint64 `json:"instructions_retired"`
+	InstructionsPlanned uint64 `json:"instructions_planned,omitempty"`
+	// Fraction is retired/planned clamped to [0, 1]; 0 when the plan is
+	// unknown.
+	Fraction float64 `json:"fraction"`
+	// SimMIPS is the job's simulated throughput: millions of retired
+	// instructions per wall-clock second of run time so far.
+	SimMIPS float64 `json:"sim_mips,omitempty"`
+	// ETASeconds estimates remaining run time from SimMIPS and the
+	// unretired remainder; omitted when the rate is still unknown.
+	ETASeconds float64 `json:"eta_seconds,omitempty"`
+	// QueueSeconds and RunSeconds split the job's wall clock at the
+	// moment the snapshot was taken: time spent waiting on the shard
+	// queue versus time spent simulating.
+	QueueSeconds float64 `json:"queue_seconds,omitempty"`
+	RunSeconds   float64 `json:"run_seconds,omitempty"`
 }
 
 // Row is one result-table row in a stream `row` event. Index is the
@@ -158,14 +194,24 @@ type JobManifest struct {
 	// Rows is the number of `row` events the stream carried.
 	Rows        int     `json:"rows"`
 	WallSeconds float64 `json:"wall_seconds"`
-	Error       string  `json:"error,omitempty"`
-	Retriable   bool    `json:"retriable,omitempty"`
+	// QueueSeconds and RunSeconds split WallSeconds into shard-queue
+	// wait and simulation time, so latency regressions attribute to the
+	// right component without scraping /metrics.
+	QueueSeconds float64 `json:"queue_seconds,omitempty"`
+	RunSeconds   float64 `json:"run_seconds,omitempty"`
+	// TraceID links the manifest to the job's spans (see
+	// GET /v1/jobs/{id}/trace).
+	TraceID   string `json:"trace_id,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Retriable bool   `json:"retriable,omitempty"`
 }
 
 // StreamEvent is one NDJSON line of a job result stream. Type selects
 // which payload field is set:
 //
 //	"job"       → Job: status snapshot (first line of every stream)
+//	"progress"  → Progress: live progress heartbeat while the job waits
+//	              or runs (rate-limited; only while the stream blocks)
 //	"columns"   → Columns: result-table column descriptors
 //	"row"       → Row: one result-table row
 //	"intervals" → Intervals: one spec's interval-metrics summary
@@ -173,14 +219,15 @@ type JobManifest struct {
 //	"error"     → Error: terminal failure description
 //	"manifest"  → Manifest: closing summary (always the last line)
 type StreamEvent struct {
-	Type      string               `json:"type"`
-	Job       *JobStatus           `json:"job,omitempty"`
-	Columns   []stats.Column       `json:"columns,omitempty"`
-	Row       *Row                 `json:"row,omitempty"`
-	Intervals *sim.SpecIntervals   `json:"intervals,omitempty"`
-	Report    *experiments.Report  `json:"report,omitempty"`
-	Error     *JobError            `json:"error,omitempty"`
-	Manifest  *JobManifest         `json:"manifest,omitempty"`
+	Type      string              `json:"type"`
+	Job       *JobStatus          `json:"job,omitempty"`
+	Progress  *JobProgress        `json:"progress,omitempty"`
+	Columns   []stats.Column      `json:"columns,omitempty"`
+	Row       *Row                `json:"row,omitempty"`
+	Intervals *sim.SpecIntervals  `json:"intervals,omitempty"`
+	Report    *experiments.Report `json:"report,omitempty"`
+	Error     *JobError           `json:"error,omitempty"`
+	Manifest  *JobManifest        `json:"manifest,omitempty"`
 }
 
 // job is the server-side job record. Mutable fields are guarded by the
@@ -191,6 +238,20 @@ type job struct {
 	spec  JobSpec
 	shard int
 
+	// Trace identity, fixed at submit: the trace the job's spans join
+	// (the client's, or self-rooted from the job ID), the client span
+	// that parents the submit span ("" when self-rooted), and the
+	// submit span's ID, which parents the queue/run/stream spans.
+	traceID    string
+	parentSpan string
+	submitSpan string
+
+	// Progress counters, written by simulation worker goroutines at
+	// instruction-chunk boundaries and read lock-free by status and
+	// stream handlers.
+	progressDone    atomic.Uint64
+	progressPlanned atomic.Uint64
+
 	// Guarded by Server.mu.
 	status     string
 	errMsg     string
@@ -199,6 +260,7 @@ type job struct {
 	startedAt  time.Time
 	finishedAt time.Time
 	rows       int
+	spans      []metrics.Span
 
 	// runCtx is canceled by DELETE /v1/jobs/{id} and by shutdown
 	// grace expiry; the worker threads it (plus the per-job timeout)

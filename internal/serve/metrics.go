@@ -2,12 +2,16 @@ package serve
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
+	"time"
+
+	"repro/internal/stats"
 )
 
 // Counters is a snapshot of the server's job accounting, exposed as
-// JSON (tests, tooling) and as the plain-text /metrics rendering.
+// JSON (tests, tooling) and as the /metrics counter block.
 //
 // The counters conserve: Submitted == Queued + Inflight + Completed +
 // Failed + Canceled at every instant (Rejected requests never receive
@@ -39,27 +43,54 @@ type Counters struct {
 	QueueCapacity int `json:"queue_capacity"`
 }
 
-// metricsText renders the counters in the conventional one-line-per-
-// metric exposition format. Rows are emitted in fixed order (no map),
-// so the rendering is deterministic — the skialint detmap discipline
-// applied to an HTTP response.
-func (c Counters) metricsText() string {
-	var b strings.Builder
-	row := func(name string, v any) {
-		fmt.Fprintf(&b, "skiaserve_%s %v\n", name, v)
+// ServiceStats holds the server's latency histograms (guarded by the
+// server mutex). Observations follow the job lifecycle: QueueWait at
+// the queued→running transition, Run when a running job reaches a
+// terminal state. Both render on /metrics as Prometheus histograms
+// with log2 buckets (stats.Histogram.Log2Buckets), so queue pressure
+// and run-time regressions separate cleanly in one scrape.
+type ServiceStats struct {
+	QueueWait stats.Histogram
+	Run       stats.Histogram
+}
+
+// Routes, for the per-route HTTP latency histograms. Fixed order: the
+// /metrics rendering iterates this, never a map.
+const (
+	routeSubmit = iota
+	routeList
+	routeStatus
+	routeCancel
+	routeStream
+	routeTrace
+	routeHealthz
+	routeMetrics
+)
+
+var routeNames = [...]string{
+	routeSubmit:  "submit",
+	routeList:    "list",
+	routeStatus:  "status",
+	routeCancel:  "cancel",
+	routeStream:  "stream",
+	routeTrace:   "trace",
+	routeHealthz: "healthz",
+	routeMetrics: "metrics",
+}
+
+// timed wraps a handler with its route's request-latency histogram.
+// Note the stream route times the whole stream — long values there
+// mean long jobs, not a slow server; the submit/status routes are the
+// ones that must stay in the low buckets.
+func (s *Server) timed(route int, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		sec := time.Since(t0).Seconds()
+		s.mu.Lock()
+		s.httpLat[route].Observe(sec)
+		s.mu.Unlock()
 	}
-	row("jobs_submitted_total", c.Submitted)
-	row("jobs_rejected_total", c.Rejected)
-	row("jobs_completed_total", c.Completed)
-	row("jobs_failed_total", c.Failed)
-	row("jobs_canceled_total", c.Canceled)
-	row("jobs_queued", c.Queued)
-	row("jobs_inflight", c.Inflight)
-	row("workers", c.Workers)
-	row("workers_busy", c.WorkersBusy)
-	row("worker_busy_seconds_total", fmt.Sprintf("%.6f", c.BusySeconds))
-	row("queue_capacity", c.QueueCapacity)
-	return b.String()
 }
 
 // Hooks are optional observation points, nil-checked at every call
@@ -75,25 +106,171 @@ type Hooks struct {
 	OnFinish func(id, status string)
 	// OnReject fires when a submission is turned away (429/503).
 	OnReject func(reason string)
+	// OnProgress fires at every simulation instruction-chunk checkpoint
+	// of a running job (cumulative retired vs planned instructions). It
+	// runs on simulation worker goroutines at chunk frequency — keep it
+	// cheap.
+	OnProgress func(id string, done, planned uint64)
 }
 
-// handleHealthz implements GET /healthz: 200 "ok" while accepting
-// work, 503 "draining" once shutdown has begun.
+// Health is the GET /healthz body: liveness plus enough queue detail
+// to see where capacity is going without scraping /metrics.
+type Health struct {
+	// Status is "ok" while accepting work, "draining" once shutdown
+	// has begun (the HTTP status mirrors it: 200 vs 503).
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+	// Queued and Inflight are the live-job gauges; Workers and
+	// WorkersBusy size the pool and its current occupancy.
+	Queued      int `json:"queued"`
+	Inflight    int `json:"inflight"`
+	Workers     int `json:"workers"`
+	WorkersBusy int `json:"workers_busy"`
+	// Shards reports each shard queue's occupancy against its bound —
+	// one hot shard with the rest idle is a balance bug, all full is
+	// genuine saturation.
+	Shards []ShardHealth `json:"shards"`
+}
+
+// ShardHealth is one shard queue's occupancy in the /healthz body.
+type ShardHealth struct {
+	Shard         int `json:"shard"`
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+}
+
+// handleHealthz implements GET /healthz: 200 while accepting work, 503
+// once shutdown has begun, with a JSON body carrying per-shard queue
+// depths and the drain state.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if draining {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-		return
+	h := Health{
+		Status:      "ok",
+		Draining:    s.draining,
+		Queued:      s.queued,
+		Inflight:    s.inflight,
+		Workers:     s.cfg.Shards * s.cfg.Workers,
+		WorkersBusy: s.inflight,
 	}
-	fmt.Fprintln(w, "ok")
+	for i := range s.shards {
+		h.Shards = append(h.Shards, ShardHealth{
+			Shard:         i,
+			QueueDepth:    len(s.shards[i]),
+			QueueCapacity: s.cfg.QueueDepth,
+		})
+	}
+	s.mu.Unlock()
+	code := http.StatusOK
+	if h.Draining {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
-// handleMetrics implements GET /metrics.
+// handleMetrics implements GET /metrics in the Prometheus text
+// exposition format: the conserved job counters (the same
+// `skiaserve_<name> <value>` lines the service has always served, now
+// under # HELP/# TYPE headers), per-shard queue-depth gauges, and
+// log2-bucket latency histograms for queue wait, run duration, and
+// per-route HTTP request time. Everything renders in fixed order — the
+// skialint detmap discipline applied to an HTTP response.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, s.Counters().metricsText())
+	var b strings.Builder
+	s.renderMetrics(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, b.String())
+}
+
+// histSnapshot is one histogram's state captured under the server
+// mutex, rendered after release.
+type histSnapshot struct {
+	labels  string // inner label set, e.g. `route="submit"`, or ""
+	buckets []stats.Bucket
+	sum     float64
+	count   uint64
+}
+
+func snapshotHist(h *stats.Histogram, labels string) histSnapshot {
+	return histSnapshot{labels: labels, buckets: h.Log2Buckets(), sum: h.Sum(), count: uint64(h.Count())}
+}
+
+func (s *Server) renderMetrics(b *strings.Builder) {
+	c := s.Counters()
+
+	s.mu.Lock()
+	draining := 0
+	if s.draining {
+		draining = 1
+	}
+	depths := make([]int, len(s.shards))
+	for i := range s.shards {
+		depths[i] = len(s.shards[i])
+	}
+	queueWait := snapshotHist(&s.svc.QueueWait, "")
+	run := snapshotHist(&s.svc.Run, "")
+	httpLat := make([]histSnapshot, len(routeNames))
+	for i := range routeNames {
+		httpLat[i] = snapshotHist(&s.httpLat[i], fmt.Sprintf("route=%q", routeNames[i]))
+	}
+	s.mu.Unlock()
+
+	family := func(name, help, typ string) {
+		fmt.Fprintf(b, "# HELP skiaserve_%s %s\n# TYPE skiaserve_%s %s\n", name, help, name, typ)
+	}
+	scalar := func(name, help, typ string, v any) {
+		family(name, help, typ)
+		fmt.Fprintf(b, "skiaserve_%s %v\n", name, v)
+	}
+	scalar("jobs_submitted_total", "Jobs accepted (HTTP 202).", "counter", c.Submitted)
+	scalar("jobs_rejected_total", "Submissions rejected with 429 or 503.", "counter", c.Rejected)
+	scalar("jobs_completed_total", "Jobs finished successfully.", "counter", c.Completed)
+	scalar("jobs_failed_total", "Jobs finished in failure.", "counter", c.Failed)
+	scalar("jobs_canceled_total", "Jobs canceled before completion.", "counter", c.Canceled)
+	scalar("jobs_queued", "Jobs waiting on shard queues.", "gauge", c.Queued)
+	scalar("jobs_inflight", "Jobs currently running.", "gauge", c.Inflight)
+	scalar("workers", "Worker pool size (shards x workers).", "gauge", c.Workers)
+	scalar("workers_busy", "Workers currently running a job.", "gauge", c.WorkersBusy)
+	scalar("worker_busy_seconds_total", "Accumulated worker-occupied wall time.", "counter",
+		fmt.Sprintf("%.6f", c.BusySeconds))
+	scalar("queue_capacity", "Bounded queue size summed over shards.", "gauge", c.QueueCapacity)
+	scalar("draining", "1 once shutdown has begun, else 0.", "gauge", draining)
+
+	family("shard_queue_depth", "Jobs waiting on one shard's queue.", "gauge")
+	for i, d := range depths {
+		fmt.Fprintf(b, "skiaserve_shard_queue_depth{shard=\"%d\"} %d\n", i, d)
+	}
+	family("shard_queue_capacity", "One shard's bounded queue size.", "gauge")
+	for i := range depths {
+		fmt.Fprintf(b, "skiaserve_shard_queue_capacity{shard=\"%d\"} %d\n", i, s.cfg.QueueDepth)
+	}
+
+	family("job_queue_wait_seconds", "Shard-queue wait per job, enqueue to worker pickup.", "histogram")
+	renderHist(b, "job_queue_wait_seconds", queueWait)
+	family("job_run_seconds", "Run duration per job, worker pickup to terminal state.", "histogram")
+	renderHist(b, "job_run_seconds", run)
+	family("http_request_seconds", "HTTP request latency by route (stream spans the whole stream).", "histogram")
+	for _, snap := range httpLat {
+		renderHist(b, "http_request_seconds", snap)
+	}
+}
+
+// renderHist writes one histogram series (cumulative log2 buckets,
+// +Inf, _sum, _count) in exposition format.
+func renderHist(b *strings.Builder, name string, snap histSnapshot) {
+	sep := ""
+	if snap.labels != "" {
+		sep = ","
+	}
+	for _, bk := range snap.buckets {
+		fmt.Fprintf(b, "skiaserve_%s_bucket{%s%sle=\"%g\"} %d\n", name, snap.labels, sep, bk.UpperBound, bk.Count)
+	}
+	fmt.Fprintf(b, "skiaserve_%s_bucket{%s%sle=\"+Inf\"} %d\n", name, snap.labels, sep, snap.count)
+	if snap.labels == "" {
+		fmt.Fprintf(b, "skiaserve_%s_sum %.6f\n", name, snap.sum)
+		fmt.Fprintf(b, "skiaserve_%s_count %d\n", name, snap.count)
+		return
+	}
+	fmt.Fprintf(b, "skiaserve_%s_sum{%s} %.6f\n", name, snap.labels, snap.sum)
+	fmt.Fprintf(b, "skiaserve_%s_count{%s} %d\n", name, snap.labels, snap.count)
 }

@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -41,6 +42,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/stats"
 )
 
 // Config tunes a Server. The zero value is a usable single-shard,
@@ -68,6 +71,20 @@ type Config struct {
 	// lookups; the oldest terminal jobs are evicted beyond it.
 	// Default 16384.
 	MaxJobsRetained int
+	// ProgressInterval rate-limits the stream's `progress` heartbeat
+	// frames: while a streamed job waits or runs, at most one frame per
+	// interval, and only when the retired-instruction count moved.
+	// Default 1s; negative disables progress frames entirely (streams
+	// then carry result events only, exactly the pre-progress framing).
+	ProgressInterval time.Duration
+	// SpanCapacity bounds the server-wide span ring (the newest spans
+	// win; per-job spans are retained with the job regardless).
+	// Default metrics.DefaultSpanRingCapacity.
+	SpanCapacity int
+	// Logger, when non-nil, receives structured job-lifecycle records
+	// (accept/start/finish/reject/drain) with job-scoped attributes.
+	// nil disables logging entirely — the nil-checked-hook discipline.
+	Logger *slog.Logger
 	// Hooks are optional observation callbacks (nil-checked).
 	Hooks Hooks
 }
@@ -90,6 +107,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobsRetained <= 0 {
 		c.MaxJobsRetained = 16384
+	}
+	if c.ProgressInterval == 0 {
+		c.ProgressInterval = time.Second
+	}
+	if c.SpanCapacity <= 0 {
+		c.SpanCapacity = metrics.DefaultSpanRingCapacity
 	}
 	return c
 }
@@ -118,6 +141,15 @@ type Server struct {
 	submitted, rejected, completed, failed, canceled uint64
 	queued, inflight                                 int
 	busySeconds                                      float64
+
+	// Latency accounting (guarded by mu): job-lifecycle histograms plus
+	// one HTTP-request histogram per route.
+	svc     ServiceStats
+	httpLat [len(routeNames)]stats.Histogram
+
+	// spans is the server-wide span ring (internally synchronized);
+	// per-job spans additionally live on the job record under mu.
+	spans *metrics.SpanRing
 }
 
 // New builds a Server and starts its worker pool.
@@ -132,13 +164,15 @@ func New(cfg Config) *Server {
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards = append(s.shards, make(chan *job, cfg.QueueDepth))
 	}
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.spans = metrics.NewSpanRing(cfg.SpanCapacity)
+	s.mux.HandleFunc("POST /v1/jobs", s.timed(routeSubmit, s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/jobs", s.timed(routeList, s.handleList))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.timed(routeStatus, s.handleStatus))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.timed(routeCancel, s.handleCancel))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.timed(routeStream, s.handleStream))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.timed(routeTrace, s.handleTrace))
+	s.mux.HandleFunc("GET /healthz", s.timed(routeHealthz, s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.timed(routeMetrics, s.handleMetrics))
 	for sh := 0; sh < cfg.Shards; sh++ {
 		for w := 0; w < cfg.Workers; w++ {
 			s.wg.Add(1)
@@ -215,16 +249,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	retryAfter := strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second))
+	t0 := time.Now()
+	clientTrace, clientSpan, _ := parseTraceparent(r.Header.Get("traceparent"))
 
 	s.mu.Lock()
 	if s.draining {
 		s.rejected++
 		s.mu.Unlock()
-		if s.cfg.Hooks.OnReject != nil {
-			s.cfg.Hooks.OnReject("draining")
-		}
-		w.Header().Set("Retry-After", retryAfter)
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining", Retriable: true})
+		s.reject(w, http.StatusServiceUnavailable, retryAfter, "draining", "server is draining")
 		return
 	}
 	s.seq++
@@ -235,10 +267,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		id:         id,
 		spec:       spec,
 		shard:      sh,
+		traceID:    clientTrace,
+		parentSpan: clientSpan,
+		submitSpan: deriveSpanID(id, "submit"),
 		status:     StatusQueued,
 		enqueuedAt: time.Now(),
 		cancel:     cancel,
 		done:       make(chan struct{}),
+	}
+	if j.traceID == "" {
+		// No (valid) traceparent: the job self-roots a trace derived
+		// from its ID, so every accepted job is traceable.
+		j.traceID = deriveTraceID(id)
 	}
 	j.runCtx = runCtx
 	select {
@@ -249,17 +289,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.rejected++
 		s.mu.Unlock()
 		cancel()
-		if s.cfg.Hooks.OnReject != nil {
-			s.cfg.Hooks.OnReject("queue full")
-		}
-		w.Header().Set("Retry-After", retryAfter)
-		writeJSON(w, http.StatusTooManyRequests,
-			apiError{Error: fmt.Sprintf("shard %d queue full (%d deep)", sh, s.cfg.QueueDepth), Retriable: true})
+		s.reject(w, http.StatusTooManyRequests, retryAfter, "queue full",
+			fmt.Sprintf("shard %d queue full (%d deep)", sh, s.cfg.QueueDepth))
 		return
 	}
 	s.jobs[id] = j
 	s.submitted++
 	s.queued++
+	s.spanLocked(j, "submit", t0, time.Now(), j.parentSpan)
 	depth := len(s.shards[sh])
 	st := s.statusLocked(j)
 	st.QueueDepth = depth
@@ -267,7 +304,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Hooks.OnSubmit != nil {
 		s.cfg.Hooks.OnSubmit(id)
 	}
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("job accepted",
+			"job_id", id, "experiment", spec.Experiment, "shard", sh,
+			"queue_depth", depth, "trace_id", j.traceID)
+	}
 	writeJSON(w, http.StatusAccepted, st)
+}
+
+// reject writes a retriable rejection (429/503) with its Retry-After
+// hint and fires the reject observers.
+func (s *Server) reject(w http.ResponseWriter, code int, retryAfter, reason, msg string) {
+	if s.cfg.Hooks.OnReject != nil {
+		s.cfg.Hooks.OnReject(reason)
+	}
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Warn("submission rejected", "reason", reason, "status", code)
+	}
+	w.Header().Set("Retry-After", retryAfter)
+	writeJSON(w, code, apiError{Error: msg, Retriable: true})
 }
 
 // statusLocked snapshots a job's status; the caller holds s.mu.
@@ -287,7 +342,46 @@ func (s *Server) statusLocked(j *job) JobStatus {
 	if !j.startedAt.IsZero() && !j.finishedAt.IsZero() {
 		st.WallSeconds = j.finishedAt.Sub(j.startedAt).Seconds()
 	}
+	st.TraceID = j.traceID
+	st.Progress = s.progressLocked(j, time.Now())
 	return st
+}
+
+// progressLocked snapshots a job's live progress; the caller holds
+// s.mu. While the job is queued only the queue-wait clock runs; once
+// running, the retired-instruction counters (published lock-free by the
+// simulation workers) drive fraction, simulated MIPS, and the ETA.
+func (s *Server) progressLocked(j *job, now time.Time) *JobProgress {
+	if j.enqueuedAt.IsZero() {
+		return nil
+	}
+	done := j.progressDone.Load()
+	planned := j.progressPlanned.Load()
+	p := &JobProgress{InstructionsRetired: done, InstructionsPlanned: planned}
+	end := now
+	if !j.finishedAt.IsZero() {
+		end = j.finishedAt
+	}
+	if j.startedAt.IsZero() {
+		p.QueueSeconds = end.Sub(j.enqueuedAt).Seconds()
+		return p
+	}
+	p.QueueSeconds = j.startedAt.Sub(j.enqueuedAt).Seconds()
+	p.RunSeconds = end.Sub(j.startedAt).Seconds()
+	if planned > 0 {
+		f := float64(done) / float64(planned)
+		if f > 1 {
+			f = 1
+		}
+		p.Fraction = f
+	}
+	if p.RunSeconds > 0 && done > 0 {
+		p.SimMIPS = float64(done) / 1e6 / p.RunSeconds
+		if j.finishedAt.IsZero() && planned > done {
+			p.ETASeconds = float64(planned-done) / 1e6 / p.SimMIPS
+		}
+	}
+	return p
 }
 
 // status snapshots a job's status.
@@ -379,11 +473,19 @@ func (s *Server) runJob(j *job) {
 	j.startedAt = time.Now()
 	s.queued--
 	s.inflight++
+	queueWait := j.startedAt.Sub(j.enqueuedAt).Seconds()
+	s.svc.QueueWait.Observe(queueWait)
+	s.spanLocked(j, "queue", j.enqueuedAt, j.startedAt, j.submitSpan)
 	timeout := s.cfg.DefaultTimeout
 	if j.spec.TimeoutSeconds > 0 {
 		timeout = time.Duration(j.spec.TimeoutSeconds * float64(time.Second))
 	}
 	s.mu.Unlock()
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("job started",
+			"job_id", j.id, "experiment", j.spec.Experiment, "shard", j.shard,
+			"queue_seconds", queueWait)
+	}
 
 	ctx := j.runCtx
 	var cancelTimeout context.CancelFunc
@@ -393,6 +495,13 @@ func (s *Server) runJob(j *job) {
 	}
 	opts := j.spec.options(s.cfg.JobWorkers)
 	opts.Context = ctx
+	opts.Progress = func(done, planned uint64) {
+		j.progressDone.Store(done)
+		j.progressPlanned.Store(planned)
+		if s.cfg.Hooks.OnProgress != nil {
+			s.cfg.Hooks.OnProgress(j.id, done, planned)
+		}
+	}
 	rep, err := experiments.Run(j.spec.Experiment, opts)
 
 	s.mu.Lock()
@@ -433,10 +542,16 @@ func (s *Server) finishLocked(j *job, rep *experiments.Report, err error, status
 	j.status = status
 	if wasQueued {
 		s.queued--
+		// The job dies on the queue: its queue span ends at finish time
+		// and no run span exists — the trace shows where the time went.
+		s.spanLocked(j, "queue", j.enqueuedAt, j.finishedAt, j.submitSpan)
 	}
 	if wasRunning {
 		s.inflight--
-		s.busySeconds += j.finishedAt.Sub(j.startedAt).Seconds()
+		runSeconds := j.finishedAt.Sub(j.startedAt).Seconds()
+		s.busySeconds += runSeconds
+		s.svc.Run.Observe(runSeconds)
+		s.spanLocked(j, "run", j.startedAt, j.finishedAt, j.submitSpan)
 	}
 	switch status {
 	case StatusDone:
@@ -451,6 +566,12 @@ func (s *Server) finishLocked(j *job, rep *experiments.Report, err error, status
 	close(j.done)
 	if s.cfg.Hooks.OnFinish != nil {
 		s.cfg.Hooks.OnFinish(j.id, status)
+	}
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("job finished",
+			"job_id", j.id, "status", status, "rows", j.rows,
+			"wall_seconds", j.finishedAt.Sub(j.enqueuedAt).Seconds(),
+			"error", j.errMsg)
 	}
 }
 
@@ -477,6 +598,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 func (s *Server) shutdown(ctx context.Context) error {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("drain started")
+	}
 	s.mu.Lock()
 	s.draining = true
 	// Reject everything still queued, retriably: the client should
@@ -549,5 +673,8 @@ func (s *Server) shutdown(ctx context.Context) error {
 	}
 	close(s.stop)
 	s.wg.Wait()
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("drain complete", "graceful", graceErr == nil)
+	}
 	return graceErr
 }

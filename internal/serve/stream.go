@@ -3,17 +3,23 @@ package serve
 import (
 	"encoding/json"
 	"net/http"
+	"time"
 )
 
 // handleStream implements GET /v1/jobs/{id}/stream: an NDJSON event
 // stream (Content-Type application/x-ndjson). The first line is a
 // `job` status snapshot, flushed immediately so clients see their job
-// was found before it finishes. The handler then blocks until the job
-// reaches a terminal state (or the client goes away) and delivers the
-// result: `columns` + one `row` per table row + optional `intervals`
-// summaries + the full `report` envelope on success, an `error` event
-// on failure — and in every case exactly one final `manifest` event,
-// so counting manifests reconciles jobs exactly. See API.md
+// was found before it finishes. While the job waits or runs, the
+// stream carries rate-limited `progress` heartbeats (at most one per
+// Config.ProgressInterval, and only when the retired-instruction count
+// moved — an idle queue produces one frame, then silence). Once the
+// job reaches a terminal state (or the client goes away) the handler
+// delivers the result: `columns` + one `row` per table row + optional
+// `intervals` summaries + the full `report` envelope on success, an
+// `error` event on failure — and in every case exactly one final
+// `manifest` event, so counting manifests reconciles jobs exactly.
+// Progress frames never carry result content, so the result portion of
+// the stream is byte-identical with heartbeats on or off. See API.md
 // ("Streaming") for the framing contract.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r.PathValue("id"))
@@ -21,6 +27,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + r.PathValue("id")})
 		return
 	}
+	streamStart := time.Now()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flush := func() {
@@ -32,9 +39,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(StreamEvent{Type: "job", Job: &st})
 	flush()
 
-	select {
-	case <-j.done:
-	case <-r.Context().Done():
+	if !s.waitStreaming(j, r, enc, flush) {
 		return // client went away; the job keeps running
 	}
 
@@ -54,15 +59,61 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	} else if j.runErr != nil {
 		enc.Encode(StreamEvent{Type: "error", Error: &JobError{Message: st.Error, Retriable: st.Retriable}})
 	}
-	enc.Encode(StreamEvent{Type: "manifest", Manifest: &JobManifest{
+	man := JobManifest{
 		SchemaVersion: 1,
 		JobID:         st.JobID,
 		Experiment:    st.Experiment,
 		Status:        st.Status,
 		Rows:          rows,
 		WallSeconds:   st.WallSeconds,
+		TraceID:       st.TraceID,
 		Error:         st.Error,
 		Retriable:     st.Retriable,
-	}})
+	}
+	if st.Progress != nil {
+		man.QueueSeconds = st.Progress.QueueSeconds
+		man.RunSeconds = st.Progress.RunSeconds
+	}
+	enc.Encode(StreamEvent{Type: "manifest", Manifest: &man})
 	flush()
+	s.mu.Lock()
+	s.spanLocked(j, "stream", streamStart, time.Now(), j.submitSpan)
+	s.mu.Unlock()
+}
+
+// waitStreaming blocks until the job reaches a terminal state, emitting
+// rate-limited progress heartbeats while it waits. Returns false when
+// the client went away first.
+func (s *Server) waitStreaming(j *job, r *http.Request, enc *json.Encoder, flush func()) bool {
+	if s.cfg.ProgressInterval < 0 {
+		select {
+		case <-j.done:
+			return true
+		case <-r.Context().Done():
+			return false
+		}
+	}
+	ticker := time.NewTicker(s.cfg.ProgressInterval)
+	defer ticker.Stop()
+	// Sentinel distinct from any real count, so the first tick emits
+	// even at zero retired instructions (queue-wait visibility).
+	lastDone := ^uint64(0)
+	for {
+		select {
+		case <-j.done:
+			return true
+		case <-r.Context().Done():
+			return false
+		case <-ticker.C:
+			s.mu.Lock()
+			p := s.progressLocked(j, time.Now())
+			s.mu.Unlock()
+			if p == nil || p.InstructionsRetired == lastDone {
+				continue
+			}
+			lastDone = p.InstructionsRetired
+			enc.Encode(StreamEvent{Type: "progress", Progress: p})
+			flush()
+		}
+	}
 }

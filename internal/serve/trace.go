@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Request tracing: every accepted job gets a four-span lifecycle —
+//
+//	submit  — the POST handler, from entry to enqueue (the local root)
+//	queue   — enqueue to worker pickup (or to terminal state, for jobs
+//	          canceled or drained off the queue)
+//	run     — worker pickup to terminal state
+//	stream  — one span per GET …/stream request, entry to manifest
+//
+// queue/run/stream parent the submit span. When the submission carries
+// a valid W3C `traceparent` header the spans join the caller's trace
+// (submit's parent is the caller's span); otherwise the job self-roots
+// a trace derived from its ID. Span and trace IDs are deterministic
+// functions of the job ID and phase name (FNV), not random draws — the
+// service stays reproducible and the nondet discipline intact.
+//
+// Spans land in two places: the job record (served back as a Chrome
+// trace_event file by GET /v1/jobs/{id}/trace, loadable in
+// chrome://tracing or Perfetto) and a server-wide bounded ring
+// (Server.Spans, newest win) for tooling.
+
+// parseTraceparent validates a W3C trace-context `traceparent` header:
+//
+//	version "-" trace-id "-" parent-id "-" flags
+//
+// version is 2 lowercase hex digits (not "ff"); trace-id is 32
+// lowercase hex digits, not all zero; parent-id is 16 lowercase hex
+// digits, not all zero; flags is 2 lowercase hex digits. Version 00
+// must have exactly those four fields; unknown future versions are
+// accepted if their first four fields parse (per spec). Anything
+// malformed returns ok=false — the caller ignores the header and
+// self-roots, never failing the request over bad telemetry metadata.
+func parseTraceparent(h string) (traceID, parentID string, ok bool) {
+	if h == "" {
+		return "", "", false
+	}
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return "", "", false
+	}
+	ver := parts[0]
+	if len(ver) != 2 || !isLowerHex(ver) || ver == "ff" {
+		return "", "", false
+	}
+	if ver == "00" && len(parts) != 4 {
+		return "", "", false
+	}
+	traceID, parentID = parts[1], parts[2]
+	flags := parts[3]
+	if len(traceID) != 32 || !isLowerHex(traceID) || isAllZero(traceID) {
+		return "", "", false
+	}
+	if len(parentID) != 16 || !isLowerHex(parentID) || isAllZero(parentID) {
+		return "", "", false
+	}
+	if len(flags) != 2 || !isLowerHex(flags) {
+		return "", "", false
+	}
+	return traceID, parentID, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func isAllZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// deriveTraceID builds a self-rooted 128-bit trace ID from a job ID.
+// FNV, not rand: the same job ID always yields the same trace, keeping
+// the service free of nondeterministic draws.
+func deriveTraceID(jobID string) string {
+	h := fnv.New128a()
+	io.WriteString(h, "skiaserve/trace/"+jobID)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// deriveSpanID builds the deterministic 64-bit span ID for one phase of
+// a job's lifecycle.
+func deriveSpanID(jobID, name string) string {
+	h := fnv.New64a()
+	io.WriteString(h, jobID+"/"+name)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// spanLocked records one lifecycle span on the job record and the
+// server-wide ring. The caller holds s.mu.
+func (s *Server) spanLocked(j *job, name string, start, end time.Time, parent string) {
+	sp := metrics.Span{
+		TraceID:  j.traceID,
+		SpanID:   deriveSpanID(j.id, name),
+		ParentID: parent,
+		Name:     name,
+		Scope:    j.id,
+		Start:    start,
+		End:      end,
+	}
+	j.spans = append(j.spans, sp)
+	s.spans.RecordSpan(sp)
+}
+
+// Spans returns the server-wide span ring's retained spans, oldest
+// first (tests, tooling).
+func (s *Server) Spans() []metrics.Span { return s.spans.Spans() }
+
+// handleTrace implements GET /v1/jobs/{id}/trace: the job's lifecycle
+// spans as a Chrome trace_event JSON file (open in chrome://tracing or
+// Perfetto). Available at any point in the lifecycle — a running job
+// shows its submit and queue spans; the run span appears on finish.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	s.mu.Lock()
+	spans := append([]metrics.Span(nil), j.spans...)
+	status := j.status
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	metrics.WriteSpanChromeTrace(w, spans, map[string]any{
+		"job_id":     j.id,
+		"experiment": j.spec.Experiment,
+		"status":     status,
+		"trace_id":   j.traceID,
+	})
+}

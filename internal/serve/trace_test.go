@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseTraceparent pins the W3C validation rules the submit
+// handler applies: anything malformed is ignored (ok=false) and the
+// job self-roots — a bad telemetry header must never fail a request.
+func TestParseTraceparent(t *testing.T) {
+	const (
+		traceID = "0af7651916cd43dd8448eb211c80319c"
+		spanID  = "b7ad6b7169203331"
+	)
+	valid := "00-" + traceID + "-" + spanID + "-01"
+	cases := []struct {
+		name string
+		in   string
+		ok   bool
+	}{
+		{"valid", valid, true},
+		{"empty", "", false},
+		{"too few fields", "00-" + traceID + "-" + spanID, false},
+		{"version too short", "0-" + traceID + "-" + spanID + "-01", false},
+		{"version too long", "000-" + traceID + "-" + spanID + "-01", false},
+		{"version not hex", "zz-" + traceID + "-" + spanID + "-01", false},
+		{"version uppercase", "0A-" + traceID + "-" + spanID + "-01", false},
+		{"version ff reserved", "ff-" + traceID + "-" + spanID + "-01", false},
+		{"version 00 with trailing field", valid + "-extra", false},
+		{"future version extra fields ok", "01-" + traceID + "-" + spanID + "-01-extra", true},
+		{"trace id short", "00-" + traceID[:31] + "-" + spanID + "-01", false},
+		{"trace id long", "00-" + traceID + "0-" + spanID + "-01", false},
+		{"trace id uppercase", "00-" + strings.ToUpper(traceID) + "-" + spanID + "-01", false},
+		{"trace id all zero", "00-" + strings.Repeat("0", 32) + "-" + spanID + "-01", false},
+		{"span id short", "00-" + traceID + "-" + spanID[:15] + "-01", false},
+		{"span id not hex", "00-" + traceID + "-" + spanID[:15] + "g-01", false},
+		{"span id all zero", "00-" + traceID + "-" + strings.Repeat("0", 16) + "-01", false},
+		{"flags short", "00-" + traceID + "-" + spanID + "-1", false},
+		{"flags not hex", "00-" + traceID + "-" + spanID + "-zz", false},
+	}
+	for _, tc := range cases {
+		gotTrace, gotSpan, ok := parseTraceparent(tc.in)
+		if ok != tc.ok {
+			t.Errorf("%s: parseTraceparent(%q) ok = %v, want %v", tc.name, tc.in, ok, tc.ok)
+			continue
+		}
+		if ok && (gotTrace != traceID || gotSpan != spanID) {
+			t.Errorf("%s: parsed (%q, %q), want (%q, %q)", tc.name, gotTrace, gotSpan, traceID, spanID)
+		}
+	}
+}
+
+// TestDeriveIDs: span and trace IDs are deterministic functions of the
+// job identity (never random draws), well-formed, and distinct across
+// phases.
+func TestDeriveIDs(t *testing.T) {
+	tr := deriveTraceID("job-00000001")
+	if len(tr) != 32 || !isLowerHex(tr) || isAllZero(tr) {
+		t.Errorf("trace id %q not 32 lowercase hex", tr)
+	}
+	if tr != deriveTraceID("job-00000001") {
+		t.Error("trace id not deterministic")
+	}
+	if tr == deriveTraceID("job-00000002") {
+		t.Error("distinct jobs share a trace id")
+	}
+	seen := map[string]bool{}
+	for _, phase := range []string{"submit", "queue", "run", "stream"} {
+		id := deriveSpanID("job-00000001", phase)
+		if len(id) != 16 || !isLowerHex(id) || isAllZero(id) {
+			t.Errorf("span id %q not 16 lowercase hex", id)
+		}
+		if id != deriveSpanID("job-00000001", phase) {
+			t.Errorf("span id for %q not deterministic", phase)
+		}
+		if seen[id] {
+			t.Errorf("span id collision at phase %q", phase)
+		}
+		seen[id] = true
+	}
+}

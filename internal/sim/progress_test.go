@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+// progressLog collects OnProgress callbacks concurrency-safely.
+type progressLog struct {
+	mu      sync.Mutex
+	done    []uint64
+	planned []uint64
+}
+
+func (p *progressLog) hook(done, planned uint64) {
+	p.mu.Lock()
+	p.done = append(p.done, done)
+	p.planned = append(p.planned, planned)
+	p.mu.Unlock()
+}
+
+// TestRunnerProgressSingleRun: one run publishes monotonic done counts
+// at chunk granularity, the plan is registered before the first chunk,
+// and the final done lands on the planned warmup+measure volume (up to
+// the core's per-call retire-width overshoot).
+func TestRunnerProgressSingleRun(t *testing.T) {
+	r := NewRunner()
+	var log progressLog
+	r.OnProgress = log.hook
+	const warm, meas = 100_000, 600_000
+	_, err := r.Run(RunSpec{Benchmark: "noop", Config: cpu.SkiaConfig(), Warmup: warm, Measure: meas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.done) < 2 {
+		t.Fatalf("only %d progress callbacks for a %d-instruction run", len(log.done), warm+meas)
+	}
+	// First callback is the plan registration (done still 0).
+	if log.done[0] != 0 || log.planned[0] != warm+meas {
+		t.Errorf("first callback = (%d, %d), want (0, %d)", log.done[0], log.planned[0], warm+meas)
+	}
+	for i := 1; i < len(log.done); i++ {
+		if log.done[i] < log.done[i-1] {
+			t.Errorf("done regressed: %d after %d", log.done[i], log.done[i-1])
+		}
+		if log.planned[i] != warm+meas {
+			t.Errorf("planned drifted to %d", log.planned[i])
+		}
+	}
+	final := log.done[len(log.done)-1]
+	if final < warm+meas || final > warm+meas+64 {
+		t.Errorf("final done = %d, want ~%d", final, warm+meas)
+	}
+	done, planned := r.Progress()
+	if done != final || planned != warm+meas {
+		t.Errorf("Progress() = (%d, %d), want (%d, %d)", done, planned, final, warm+meas)
+	}
+}
+
+// TestRunnerProgressRunAllPreplans: RunAll registers the whole spec
+// list's volume before any instruction retires, so the completion
+// denominator is stable from the first chunk — the property the
+// service's ETA depends on.
+func TestRunnerProgressRunAllPreplans(t *testing.T) {
+	r := NewRunner()
+	r.Workers = 2
+	var log progressLog
+	r.OnProgress = log.hook
+	specs := []RunSpec{
+		{Benchmark: "noop", Config: cpu.SkiaConfig(), Warmup: 50_000, Measure: 300_000},
+		{Benchmark: "voter", Config: cpu.SkiaConfig(), Warmup: 50_000, Measure: 300_000},
+	}
+	if _, err := r.RunAll(specs); err != nil {
+		t.Fatal(err)
+	}
+	const total = 2 * 350_000
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	if log.planned[0] != total {
+		t.Errorf("first callback planned = %d, want %d (pre-registered)", log.planned[0], total)
+	}
+	for i, p := range log.planned {
+		if p != total {
+			t.Errorf("callback %d planned = %d, want %d", i, p, total)
+		}
+	}
+	done, planned := r.Progress()
+	if planned != total {
+		t.Errorf("planned = %d, want %d", planned, total)
+	}
+	if done < total || done > total+128 {
+		t.Errorf("done = %d, want ~%d", done, total)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/attrib"
@@ -134,6 +135,24 @@ type Runner struct {
 	// (internal/serve) sets this per job so HTTP cancellation and
 	// per-job timeouts propagate into the simulation loop.
 	BaseContext context.Context
+	// OnProgress, when non-nil, receives cumulative progress after
+	// every simulated instruction chunk (ctxCheckChunk = 262,144
+	// retired instructions) and whenever planned work is registered:
+	// done is the total instructions retired across every run this
+	// Runner has executed, planned the total its known work will retire
+	// (RunAll pre-registers its whole spec list before the first run
+	// starts, so done/planned is a stable completion fraction from the
+	// first chunk). The hook is called from RunAll's worker goroutines
+	// concurrently — implementations must be fast and concurrency-safe.
+	// Nil costs one nil check per chunk, nothing per simulated cycle.
+	// The sweep service publishes these values as live job progress.
+	OnProgress func(done, planned uint64)
+
+	// progressDone / progressPlanned back OnProgress and Progress();
+	// atomics, not mu, because they are touched from inside runWindow
+	// while mu-holding readers (Stats) may run concurrently.
+	progressDone    atomic.Uint64
+	progressPlanned atomic.Uint64
 
 	// All capture below is guarded by mu: Run is called from RunAll's
 	// worker goroutines, and each run's collector lives privately in
@@ -259,22 +278,67 @@ func (r *Runner) baseContext() context.Context {
 // each call by up to the retire width, so per-slice deltas would
 // compound into extra instructions, while re-deriving the remainder
 // from the absolute target keeps chunked execution bit-identical to a
-// single Run call.
-func runWindow(ctx context.Context, c *cpu.Core, n uint64) error {
+// single Run call. Each completed slice books its retired delta into
+// the runner's progress accounting — the chunk boundary doubles as the
+// progress checkpoint, so observability costs nothing inside the
+// simulated window itself.
+func (r *Runner) runWindow(ctx context.Context, c *cpu.Core, n uint64) error {
 	target := c.Retired() + n
 	for c.Retired() < target {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		step := target - c.Retired()
+		before := c.Retired()
+		step := target - before
 		if step > ctxCheckChunk {
 			step = ctxCheckChunk
 		}
-		if c.Run(step) == 0 {
+		ran := c.Run(step)
+		if d := c.Retired() - before; d > 0 {
+			done := r.progressDone.Add(d)
+			if r.OnProgress != nil {
+				r.OnProgress(done, r.progressPlanned.Load())
+			}
+		}
+		if ran == 0 {
 			break // workload exhausted
 		}
 	}
 	return ctx.Err()
+}
+
+// addPlanned registers n upcoming instructions of planned work and
+// publishes the new plan through OnProgress.
+func (r *Runner) addPlanned(n uint64) {
+	if n == 0 {
+		return
+	}
+	planned := r.progressPlanned.Add(n)
+	if r.OnProgress != nil {
+		r.OnProgress(r.progressDone.Load(), planned)
+	}
+}
+
+// Progress snapshots the runner's cumulative progress: instructions
+// retired so far across all runs, and the planned total registered by
+// Run/RunAll so far. done normally converges on planned; it stops
+// short when a workload exhausts early or a run aborts, and may exceed
+// it by up to the retire width per run (cpu.Core.Run overshoot).
+func (r *Runner) Progress() (done, planned uint64) {
+	return r.progressDone.Load(), r.progressPlanned.Load()
+}
+
+// windows resolves the spec's warmup and measurement instruction
+// counts against the package defaults.
+func (s RunSpec) windows() (warm, meas uint64) {
+	warm, meas = s.Warmup, s.Measure
+	if warm == 0 {
+		warm = DefaultWarmup
+	}
+	if meas == 0 {
+		meas = DefaultMeasure
+	}
+	return warm, meas
 }
 
 // Run executes one simulation: build core, warm up, reset statistics,
@@ -290,6 +354,13 @@ func (r *Runner) Run(spec RunSpec) (Result, error) {
 // context.Canceled / context.DeadlineExceeded) and books nothing into
 // the runner's timing counters.
 func (r *Runner) RunContext(ctx context.Context, spec RunSpec) (Result, error) {
+	return r.runContext(ctx, spec, true)
+}
+
+// runContext is RunContext's body; plan=false when RunAllContext has
+// already pre-registered this spec's instruction volume (so it is not
+// double-counted in the progress plan).
+func (r *Runner) runContext(ctx context.Context, spec RunSpec, plan bool) (Result, error) {
 	//skia:nondet-ok wall-clock brackets the run for throughput reporting; no simulated state depends on it
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
@@ -299,18 +370,15 @@ func (r *Runner) RunContext(ctx context.Context, spec RunSpec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	warm, meas := spec.Warmup, spec.Measure
-	if warm == 0 {
-		warm = DefaultWarmup
-	}
-	if meas == 0 {
-		meas = DefaultMeasure
+	warm, meas := spec.windows()
+	if plan {
+		r.addPlanned(warm + meas)
 	}
 	c, err := cpu.New(spec.Config, w)
 	if err != nil {
 		return Result{}, err
 	}
-	if err := runWindow(ctx, c, warm); err != nil {
+	if err := r.runWindow(ctx, c, warm); err != nil {
 		return Result{}, fmt.Errorf("sim: %s: warmup aborted: %w", spec.Benchmark, err)
 	}
 	c.ResetStats()
@@ -336,7 +404,7 @@ func (r *Runner) RunContext(ctx context.Context, spec RunSpec) (Result, error) {
 		eng = attrib.NewEngine()
 		c.AttachAttribution(eng)
 	}
-	if err := runWindow(ctx, c, meas); err != nil {
+	if err := r.runWindow(ctx, c, meas); err != nil {
 		return Result{}, fmt.Errorf("sim: %s: measurement aborted: %w", spec.Benchmark, err)
 	}
 	if err := c.Frontend().Err(); err != nil {
@@ -407,7 +475,10 @@ func (r *Runner) RunAll(specs []RunSpec) ([]Result, error) {
 // RunAllContext is RunAll under an explicit context. Once ctx is done,
 // in-flight specs abort at their next chunk boundary and queued specs
 // fail immediately without simulating; each affected slot's error
-// wraps ctx.Err().
+// wraps ctx.Err(). The whole spec list's instruction volume is
+// registered with the progress plan before the first run starts, so
+// OnProgress observers see a stable completion denominator from the
+// first chunk.
 func (r *Runner) RunAllContext(ctx context.Context, specs []RunSpec) ([]Result, error) {
 	workers := r.Workers
 	if workers <= 0 {
@@ -416,6 +487,12 @@ func (r *Runner) RunAllContext(ctx context.Context, specs []RunSpec) ([]Result, 
 	if workers > len(specs) {
 		workers = len(specs)
 	}
+	var planned uint64
+	for _, s := range specs {
+		warm, meas := s.windows()
+		planned += warm + meas
+	}
+	r.addPlanned(planned)
 	results := make([]Result, len(specs))
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
@@ -426,7 +503,7 @@ func (r *Runner) RunAllContext(ctx context.Context, specs []RunSpec) ([]Result, 
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = r.RunContext(ctx, specs[i])
+			results[i], errs[i] = r.runContext(ctx, specs[i], false)
 		}(i)
 	}
 	wg.Wait()
