@@ -7,9 +7,10 @@
 // Usage:
 //
 //	skiabench                       # print the table
-//	skiabench -out BENCH_4.json     # also write the JSON envelope
-//	skiabench -baseline BENCH_4.json -max-regress 0.25
+//	skiabench -out BENCH_8.json     # also write the JSON envelope
+//	skiabench -baseline BENCH_8.json -max-regress 0.25
 //	skiabench -bench frontend       # run a subset by substring
+//	skiabench -archive runs/        # record the envelope in a run-history archive
 //
 // With -baseline the run gates like a regression test: any benchmark
 // whose ns/op exceeds the baseline's by more than -max-regress fails
@@ -30,45 +31,24 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/cpu"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
-// SchemaVersion identifies the BENCH_*.json envelope format.
-const SchemaVersion = 1
+// SchemaVersion identifies the BENCH_*.json envelope format. The
+// envelope types live in internal/benchfmt so the run-history archive
+// (internal/store) and the dashboard (cmd/skiaboard) share them.
+const SchemaVersion = benchfmt.SchemaVersion
 
-// Entry is one benchmark's measured cost.
-type Entry struct {
-	Name string `json:"name"`
-	// Iterations is testing.B's chosen N (1 for experiment entries).
-	Iterations int `json:"iterations"`
-	// NsPerOp is wall time per operation. For hot-loop benchmarks an
-	// operation is 1000 simulated instructions; for experiment entries
-	// it is the whole experiment.
-	NsPerOp float64 `json:"ns_per_op"`
-	// AllocsPerOp and BytesPerOp come from testing.B's allocation
-	// counters (absent for experiment entries).
-	AllocsPerOp int64 `json:"allocs_per_op"`
-	BytesPerOp  int64 `json:"bytes_per_op"`
-	// Metrics carries benchmark-specific extras: "minsts_per_s" for
-	// hot loops (simulated Minstructions per wall second), "sim_mips"
-	// for experiment entries (the runner's aggregate throughput).
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Envelope is the BENCH_*.json file layout.
-type Envelope struct {
-	SchemaVersion int     `json:"schema_version"`
-	GeneratedAt   string  `json:"generated_at"`
-	GitDescribe   string  `json:"git_describe,omitempty"`
-	GoVersion     string  `json:"go_version"`
-	GOOS          string  `json:"goos"`
-	GOARCH        string  `json:"goarch"`
-	NumCPU        int     `json:"num_cpu"`
-	Entries       []Entry `json:"entries"`
-}
+// Entry and Envelope alias the shared envelope types.
+type (
+	Entry    = benchfmt.Entry
+	Envelope = benchfmt.Envelope
+)
 
 // cycleCore builds a warmed core for the hot-loop benchmarks,
 // mirroring bench_test.go's BenchmarkFrontEndCycle setup so the two
@@ -226,6 +206,7 @@ func main() {
 		baseline   = flag.String("baseline", "", "gate against this BENCH_*.json baseline")
 		maxRegress = flag.Float64("max-regress", 0.25, "maximum tolerated ns/op (and allocs/op) regression vs -baseline")
 		match      = flag.String("bench", "", "only run benchmarks whose name contains this substring")
+		archiveDir = flag.String("archive", "", "also record the envelope in this run-history archive (skiaboard renders the trajectory)")
 	)
 	var prof metrics.Profiler
 	prof.RegisterFlags(flag.CommandLine)
@@ -278,17 +259,38 @@ func main() {
 		fmt.Printf("%-26s %12.0f %12d %12d %10s\n", e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, extra)
 	}
 
-	if *out != "" {
+	if *out != "" || *archiveDir != "" {
 		data, err := json.MarshalIndent(env, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "skiabench: %v\n", err)
 			os.Exit(2)
 		}
-		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "skiabench: %v\n", err)
-			os.Exit(2)
+		if *out != "" {
+			if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "skiabench: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+		if *archiveDir != "" {
+			a, err := store.Open(*archiveDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "skiabench: %v\n", err)
+				os.Exit(2)
+			}
+			entry, added, err := a.PutBench(data, store.PutMeta{
+				RecordedAt: time.Now(), GitDescribe: env.GitDescribe, Source: "skiabench",
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "skiabench: %v\n", err)
+				os.Exit(2)
+			}
+			state := "archived"
+			if !added {
+				state = "already archived (dedup)"
+			}
+			fmt.Fprintf(os.Stderr, "%s in %s as %s\n", state, *archiveDir, entry.ID[:12])
+		}
 	}
 
 	if *baseline != "" {

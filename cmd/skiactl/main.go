@@ -54,7 +54,14 @@ type jobOutcome struct {
 	QueueSeconds float64 `json:"queue_seconds,omitempty"`
 	RunSeconds   float64 `json:"run_seconds,omitempty"`
 	TraceID      string  `json:"trace_id,omitempty"`
-	Error        string  `json:"error,omitempty"`
+	// SpecHash is the server-computed canonical spec hash
+	// (internal/store): failed and canceled jobs journal it too, so an
+	// outcome row can be joined against the run-history archive even
+	// when no report was produced. Cached marks results served from the
+	// archive rather than simulated.
+	SpecHash string `json:"spec_hash,omitempty"`
+	Cached   bool   `json:"cached,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 func main() {
@@ -144,11 +151,19 @@ func run(addr string, exps []string, n, conc int, opts specOpts, outDir, journal
 				out := jobOutcome{Seq: i, Experiment: e, LatencySeconds: lat.Seconds()}
 				if res != nil && res.Status != nil {
 					out.JobID = res.Status.JobID
+					// The submit ack already carries trace_id and
+					// spec_hash, so jobs that die before a manifest
+					// streams (timeouts, cancels racing the queue) still
+					// journal both.
+					out.TraceID = res.Status.TraceID
+					out.SpecHash = res.Status.SpecHash
 				}
 				if res != nil && res.Manifest != nil {
 					out.QueueSeconds = res.Manifest.QueueSeconds
 					out.RunSeconds = res.Manifest.RunSeconds
 					out.TraceID = res.Manifest.TraceID
+					out.SpecHash = res.Manifest.SpecHash
+					out.Cached = res.Manifest.Cached
 				}
 				switch {
 				case err != nil && res != nil && res.Manifest != nil:

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 // gitDescribe best-effort identifies the tree that produced a report;
@@ -77,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workers = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		asJSON  = fs.Bool("json", false, "emit JSON report envelopes instead of plain text")
 		outDir  = fs.String("out", "", "write <id>.json per experiment plus manifest.json into this directory (implies -json)")
+		arcDir  = fs.String("archive", "", "also record each report in this run-history archive (implies -json; see cmd/skiaboard)")
 
 		intervals = fs.Uint64("intervals", 0,
 			"collect interval metrics every N retired instructions per run; summaries land in the report envelope's `intervals` section (0 = off)")
@@ -88,8 +90,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *outDir != "" {
+	if *outDir != "" || *arcDir != "" {
 		*asJSON = true
+	}
+	var arc *store.Archive
+	if *arcDir != "" {
+		var err error
+		if arc, err = store.Open(*arcDir); err != nil {
+			return err
+		}
 	}
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -155,6 +164,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 			break
 		}
 		data = append(data, '\n')
+		if arc != nil {
+			entry, added, err := arc.PutReport(data, store.NewSpec(id, opts), store.PutMeta{
+				RecordedAt: time.Now(), GitDescribe: describe, Source: "skiaexp",
+			})
+			if err != nil {
+				failures = append(failures, fmt.Errorf("%s: archive: %w", id, err))
+				break
+			}
+			state := "archived"
+			if !added {
+				state = "already archived (dedup)"
+			}
+			fmt.Fprintf(stdout, "%s %s as %s (spec %s)\n", state, id, entry.ID[:12], entry.SpecHash[:12])
+		}
 		if *outDir == "" {
 			stdout.Write(data)
 			continue

@@ -13,6 +13,7 @@
 //	skiaserve -shards 4 -workers 2 -queue 256  # 8 workers, 1024 queued
 //	skiaserve -job-timeout 5m -grace 30s
 //	skiaserve -log json -log-level debug       # structured job logs
+//	skiaserve -archive runs/ -cache            # run-history archive + result cache
 //
 // Job lifecycle events (accept/start/finish/reject/drain) are logged
 // structurally via log/slog with job-scoped attributes; -log selects
@@ -33,12 +34,25 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/store"
 )
+
+// gitDescribe best-effort identifies the tree serving results; archived
+// records carry it so trajectories can be pinned to code versions.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
 
 func main() {
 	var (
@@ -54,6 +68,8 @@ func main() {
 		logFormat  = flag.String("log", "text", "job lifecycle log format: text, json, or off")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		verbose    = flag.Bool("v", false, "shorthand for -log-level debug")
+		archiveDir = flag.String("archive", "", "persist finished reports into this run-history archive and serve GET /v1/history")
+		cache      = flag.Bool("cache", false, "serve byte-identical archived reports on spec-hash match instead of re-simulating (requires -archive)")
 	)
 	flag.Parse()
 
@@ -61,6 +77,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skiaserve: %v\n", err)
 		os.Exit(2)
+	}
+	if *cache && *archiveDir == "" {
+		fmt.Fprintln(os.Stderr, "skiaserve: -cache requires -archive")
+		os.Exit(2)
+	}
+	var archive *store.Archive
+	if *archiveDir != "" {
+		if archive, err = store.Open(*archiveDir); err != nil {
+			fmt.Fprintf(os.Stderr, "skiaserve: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	cfg := serve.Config{
@@ -72,6 +99,9 @@ func main() {
 		RetryAfter:       *retryAfter,
 		ProgressInterval: *progressIv,
 		Logger:           logger,
+		Archive:          archive,
+		Cache:            *cache,
+		GitDescribe:      gitDescribe(),
 	}
 	if logger != nil && logger.Enabled(context.Background(), slog.LevelDebug) {
 		// The lifecycle hooks duplicate the server's own Info-level

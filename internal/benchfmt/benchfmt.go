@@ -1,0 +1,59 @@
+// Package benchfmt defines the versioned BENCH_*.json envelope that
+// cmd/skiabench writes: the repo's performance trajectory format.
+// It lives here (rather than inside the command) so internal/store can
+// archive bench envelopes and cmd/skiaboard can chart the trajectory
+// without importing a main package.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SchemaVersion identifies the BENCH_*.json envelope format.
+const SchemaVersion = 1
+
+// Entry is one benchmark's measured cost.
+type Entry struct {
+	Name string `json:"name"`
+	// Iterations is testing.B's chosen N (1 for experiment entries).
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall time per operation. For hot-loop benchmarks an
+	// operation is 1000 simulated instructions; for experiment entries
+	// it is the whole experiment.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp come from testing.B's allocation
+	// counters (absent for experiment entries).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Metrics carries benchmark-specific extras: "minsts_per_s" for
+	// hot loops (simulated Minstructions per wall second), "sim_mips"
+	// for experiment entries (the runner's aggregate throughput).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Envelope is the BENCH_*.json file layout.
+type Envelope struct {
+	SchemaVersion int     `json:"schema_version"`
+	GeneratedAt   string  `json:"generated_at"`
+	GitDescribe   string  `json:"git_describe,omitempty"`
+	GoVersion     string  `json:"go_version"`
+	GOOS          string  `json:"goos"`
+	GOARCH        string  `json:"goarch"`
+	NumCPU        int     `json:"num_cpu"`
+	Entries       []Entry `json:"entries"`
+}
+
+// Decode parses one BENCH_*.json envelope, rejecting schema versions
+// newer than this build.
+func Decode(data []byte) (*Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, err
+	}
+	if env.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("benchfmt: envelope schema v%d is newer than this build (v%d)",
+			env.SchemaVersion, SchemaVersion)
+	}
+	return &env, nil
+}

@@ -23,7 +23,12 @@ import (
 //	    cause taxonomy, stall accounts, offenders, distributions).
 //	    Purely additive: v1/v2 reports decode as v3 reports with no
 //	    attribution.
-const SchemaVersion = 3
+//	4 — adds meta.interval_instructions: the effective interval-metrics
+//	    collection window, recorded so a report's simulation-affecting
+//	    spec (internal/store.SpecOfReport) is fully recoverable from
+//	    the envelope alone. Purely additive: older reports decode as
+//	    v4 reports with a zero (collection off) interval.
+const SchemaVersion = 4
 
 // minSchemaVersion is the oldest envelope DecodeReport still reads.
 const minSchemaVersion = 1
@@ -46,6 +51,12 @@ type RunMeta struct {
 	// per-run windows (defaults resolved).
 	WarmupInstructions  uint64 `json:"warmup_instructions,omitempty"`
 	MeasureInstructions uint64 `json:"measure_instructions,omitempty"`
+	// IntervalInstructions is the effective interval-metrics window
+	// (Options.Interval): one interval row per this many retired
+	// instructions, 0 when collection was off. Schema v4; recorded so
+	// the run's simulation-affecting spec is recoverable from the
+	// envelope (internal/store keys its archive on it).
+	IntervalInstructions uint64 `json:"interval_instructions,omitempty"`
 	// ConfigLabels lists the distinct RunSpec labels simulated
 	// (e.g. ["baseline","both","head","tail"]), in the runner's
 	// sorted spec order.
@@ -72,7 +83,8 @@ func (o Options) stamp(rep *Report, r *sim.Runner, benches []string) *Report {
 	if meas == 0 {
 		meas = sim.DefaultMeasure
 	}
-	m := RunMeta{WarmupInstructions: warm, MeasureInstructions: meas}
+	m := RunMeta{WarmupInstructions: warm, MeasureInstructions: meas,
+		IntervalInstructions: o.Interval}
 	for _, b := range benches {
 		ref := BenchmarkRef{Name: b}
 		if p, err := workload.ByName(b); err == nil {

@@ -1,0 +1,171 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// openArchive opens a run-history archive rooted in a test tempdir.
+func openArchive(t *testing.T, dir string) *store.Archive {
+	t.Helper()
+	a, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestArchiveDedupsAndCacheServesByteIdentical is the tentpole's
+// end-to-end contract: running the same spec twice against an archive
+// yields one store record; a second server generation with -cache
+// serves the archived report byte-identically without simulating,
+// books the job to the conserved `cached` lane, and preserves the
+// stream framing (exactly one manifest, now carrying spec_hash and
+// cached).
+func TestArchiveDedupsAndCacheServesByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+
+	// Generation 1: archive only.
+	s1, c1 := newTestServer(t, serve.Config{
+		Workers: 2, Archive: openArchive(t, dir), GitDescribe: "gen1",
+	})
+	res1, err := c1.RunJob(context.Background(), tinyFig14())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Manifest.SpecHash == "" {
+		t.Error("manifest lacks spec_hash")
+	}
+	if res1.Manifest.Cached {
+		t.Error("first run claims to be cached")
+	}
+	res1b, err := c1.RunJob(context.Background(), tinyFig14())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1b.Manifest.SpecHash != res1.Manifest.SpecHash {
+		t.Errorf("same spec hashed differently: %s vs %s",
+			res1b.Manifest.SpecHash, res1.Manifest.SpecHash)
+	}
+	// Deterministic simulation + same tree: the rerun deduped.
+	if cs := s1.Counters(); cs.Completed != 2 || cs.Cached != 0 {
+		t.Errorf("gen1 counters: %+v", cs)
+	}
+
+	// Generation 2: fresh server, same archive, cache on.
+	fresh := openArchive(t, dir)
+	if n := fresh.Len(); n != 1 {
+		t.Fatalf("archive has %d records after two identical runs, want 1", n)
+	}
+	s2, c2 := newTestServer(t, serve.Config{
+		Workers: 2, Archive: fresh, Cache: true, GitDescribe: "gen2",
+	})
+	res2, err := c2.RunJob(context.Background(), tinyFig14())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Manifest.Cached {
+		t.Fatal("cache-eligible job was not served from the archive")
+	}
+	if res2.Manifest.Status != serve.StatusDone {
+		t.Errorf("cached job status = %q", res2.Manifest.Status)
+	}
+	if !bytes.Equal(res2.Report, res1.Report) {
+		t.Error("cached report is not byte-identical to the archived run's report")
+	}
+	if res2.Manifest.Rows == 0 || res2.Manifest.Rows != res1.Manifest.Rows {
+		t.Errorf("cached manifest rows = %d, original %d", res2.Manifest.Rows, res1.Manifest.Rows)
+	}
+
+	// A different spec misses the cache and simulates.
+	other := tinyFig14()
+	other.Meta.MeasureInstructions = 120_000
+	res3, err := c2.RunJob(context.Background(), other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Manifest.Cached {
+		t.Error("different spec hit the cache")
+	}
+	if res3.Manifest.SpecHash == res2.Manifest.SpecHash {
+		t.Error("different windows share a spec hash")
+	}
+
+	// Conservation with the cached lane: submitted partitions exactly.
+	cs := s2.Counters()
+	if cs.Cached != 1 || cs.Completed != 1 {
+		t.Errorf("gen2 counters: %+v", cs)
+	}
+	total := cs.Completed + cs.Failed + cs.Canceled + cs.Cached +
+		uint64(cs.Queued) + uint64(cs.Inflight)
+	if cs.Submitted != total {
+		t.Errorf("conservation violated: submitted=%d partition=%d (%+v)", cs.Submitted, total, cs)
+	}
+	// The miss was archived: the store now tracks both specs.
+	if n := fresh.Len(); n != 2 {
+		t.Errorf("archive has %d records, want 2", n)
+	}
+}
+
+// TestHistoryEndpoint: /v1/history/{experiment} serves the archived
+// trajectory; without -archive it 404s; unknown experiments 404.
+func TestHistoryEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	_, c := newTestServer(t, serve.Config{
+		Workers: 2, Archive: openArchive(t, dir), GitDescribe: "t",
+	})
+	if _, err := c.RunJob(context.Background(), tinyFig14()); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(url string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	resp, body := get(c.BaseURL + "/v1/history/fig14")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("history: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var hist store.History
+	if err := json.Unmarshal(body, &hist); err != nil {
+		t.Fatalf("history does not decode: %v", err)
+	}
+	if hist.Experiment != "fig14" || len(hist.Points) != 1 {
+		t.Fatalf("history = experiment %q, %d points", hist.Experiment, len(hist.Points))
+	}
+	if len(hist.Points[0].Metrics) == 0 || hist.Points[0].SpecHash == "" {
+		t.Errorf("history point lacks metrics or spec hash: %+v", hist.Points[0])
+	}
+	if len(hist.Rollups) == 0 {
+		t.Error("history lacks rollups")
+	}
+
+	if resp, _ := get(c.BaseURL + "/v1/history/not-an-experiment"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown experiment: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	// A valid experiment with no archived runs is an empty 200.
+	if resp, body := get(c.BaseURL + "/v1/history/table1"); resp.StatusCode != http.StatusOK {
+		t.Errorf("empty history: HTTP %d: %s", resp.StatusCode, body)
+	}
+
+	// No archive configured: the route is absent functionality, 404.
+	_, noArch := newTestServer(t, serve.Config{})
+	if resp, _ := get(noArch.BaseURL + "/v1/history/fig14"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("no archive: HTTP %d, want 404", resp.StatusCode)
+	}
+}

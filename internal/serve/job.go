@@ -134,6 +134,13 @@ type JobStatus struct {
 	// submitter's trace when the request carried a valid `traceparent`
 	// header, otherwise a self-rooted one derived from the job ID.
 	TraceID string `json:"trace_id,omitempty"`
+	// SpecHash is the canonical spec hash of (experiment, normalized
+	// options) — the key the run-history archive (internal/store) and
+	// the result cache share. Stamped at submit on every job.
+	SpecHash string `json:"spec_hash,omitempty"`
+	// Cached marks a done job whose report was served from the archive
+	// on a spec-hash match instead of being re-simulated.
+	Cached bool `json:"cached,omitempty"`
 	// Progress carries live execution progress (instructions retired,
 	// simulated MIPS, ETA) once the job has a plan; nil while queued.
 	Progress *JobProgress `json:"progress,omitempty"`
@@ -201,7 +208,13 @@ type JobManifest struct {
 	RunSeconds   float64 `json:"run_seconds,omitempty"`
 	// TraceID links the manifest to the job's spans (see
 	// GET /v1/jobs/{id}/trace).
-	TraceID   string `json:"trace_id,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
+	// SpecHash joins the manifest to the job's archive records and
+	// history trajectory (see JobStatus.SpecHash).
+	SpecHash string `json:"spec_hash,omitempty"`
+	// Cached marks a result served from the archive without
+	// re-simulating.
+	Cached    bool   `json:"cached,omitempty"`
 	Error     string `json:"error,omitempty"`
 	Retriable bool   `json:"retriable,omitempty"`
 }
@@ -237,6 +250,8 @@ type job struct {
 	id    string
 	spec  JobSpec
 	shard int
+	// specHash is the canonical store.Spec hash, fixed at submit.
+	specHash string
 
 	// Trace identity, fixed at submit: the trace the job's spans join
 	// (the client's, or self-rooted from the job ID), the client span
@@ -254,6 +269,7 @@ type job struct {
 
 	// Guarded by Server.mu.
 	status     string
+	cached     bool // report served from the archive, not simulated
 	errMsg     string
 	retriable  bool
 	enqueuedAt time.Time

@@ -14,10 +14,10 @@ import (
 // JSON (tests, tooling) and as the /metrics counter block.
 //
 // The counters conserve: Submitted == Queued + Inflight + Completed +
-// Failed + Canceled at every instant (Rejected requests never receive
-// a job ID and are counted separately). TestMetricsConservation holds
-// the server to that identity under concurrent load, the same way the
-// simulator's attribution engine proves its cause taxonomy against
+// Failed + Canceled + Cached at every instant (Rejected requests never
+// receive a job ID and are counted separately). TestMetricsConservation
+// holds the server to that identity under concurrent load, the same way
+// the simulator's attribution engine proves its cause taxonomy against
 // aggregate counters.
 type Counters struct {
 	// Submitted counts accepted jobs (HTTP 202).
@@ -25,10 +25,14 @@ type Counters struct {
 	// Rejected counts submissions turned away with 429 (queue full)
 	// or 503 (draining); they never become jobs.
 	Rejected uint64 `json:"jobs_rejected_total"`
-	// Completed/Failed/Canceled count terminal jobs.
+	// Completed/Failed/Canceled count terminal jobs. Completed counts
+	// simulated successes only; jobs whose report was served from the
+	// run-history archive on a spec-hash match (-cache) book to Cached
+	// instead, so the cache's work savings read directly off /metrics.
 	Completed uint64 `json:"jobs_completed_total"`
 	Failed    uint64 `json:"jobs_failed_total"`
 	Canceled  uint64 `json:"jobs_canceled_total"`
+	Cached    uint64 `json:"jobs_cached_total"`
 	// Queued and Inflight are gauges over live jobs.
 	Queued   int `json:"jobs_queued"`
 	Inflight int `json:"jobs_inflight"`
@@ -63,6 +67,7 @@ const (
 	routeCancel
 	routeStream
 	routeTrace
+	routeHistory
 	routeHealthz
 	routeMetrics
 )
@@ -74,6 +79,7 @@ var routeNames = [...]string{
 	routeCancel:  "cancel",
 	routeStream:  "stream",
 	routeTrace:   "trace",
+	routeHistory: "history",
 	routeHealthz: "healthz",
 	routeMetrics: "metrics",
 }
@@ -227,6 +233,7 @@ func (s *Server) renderMetrics(b *strings.Builder) {
 	scalar("jobs_completed_total", "Jobs finished successfully.", "counter", c.Completed)
 	scalar("jobs_failed_total", "Jobs finished in failure.", "counter", c.Failed)
 	scalar("jobs_canceled_total", "Jobs canceled before completion.", "counter", c.Canceled)
+	scalar("jobs_cached_total", "Jobs served from the run-history archive without simulating.", "counter", c.Cached)
 	scalar("jobs_queued", "Jobs waiting on shard queues.", "gauge", c.Queued)
 	scalar("jobs_inflight", "Jobs currently running.", "gauge", c.Inflight)
 	scalar("workers", "Worker pool size (shards x workers).", "gauge", c.Workers)

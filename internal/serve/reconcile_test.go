@@ -209,7 +209,7 @@ func TestThousandJobReconciliation(t *testing.T) {
 		t.Errorf("counters after load = %+v, want submitted=%d completed=%d canceled=%d",
 			cs, jobs+blockers, jobs, blockers)
 	}
-	if int(cs.Submitted) != cs.Queued+cs.Inflight+int(cs.Completed+cs.Failed+cs.Canceled) {
+	if int(cs.Submitted) != cs.Queued+cs.Inflight+int(cs.Completed+cs.Failed+cs.Canceled+cs.Cached) {
 		t.Errorf("conservation violated after load: %+v", cs)
 	}
 	if cs.Rejected == 0 {

@@ -44,6 +44,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Config tunes a Server. The zero value is a usable single-shard,
@@ -87,6 +88,19 @@ type Config struct {
 	Logger *slog.Logger
 	// Hooks are optional observation callbacks (nil-checked).
 	Hooks Hooks
+	// Archive, when non-nil, persists every successfully finished
+	// job's report to the run-history archive (keyed by the job's spec
+	// hash) and enables GET /v1/history/{experiment}. Archive errors
+	// are logged, never fail the job.
+	Archive *store.Archive
+	// Cache, with Archive set, serves a byte-identical archived report
+	// on spec-hash match at worker pickup instead of re-simulating.
+	// Cache-served jobs finish done with Cached set and book to the
+	// conserved `cached` counter lane.
+	Cache bool
+	// GitDescribe stamps archive records with the serving tree's
+	// version (filled by cmd/skiaserve; empty means unknown).
+	GitDescribe string
 }
 
 func (c Config) withDefaults() Config {
@@ -137,10 +151,13 @@ type Server struct {
 	shutdownOnce sync.Once
 	shutdownErr  error
 
-	// Job accounting (gauges derived at snapshot time).
-	submitted, rejected, completed, failed, canceled uint64
-	queued, inflight                                 int
-	busySeconds                                      float64
+	// Job accounting (gauges derived at snapshot time). cached is the
+	// fourth terminal lane: done jobs whose report came from the
+	// archive (completed counts only simulated successes, so the
+	// conservation identity stays exact).
+	submitted, rejected, completed, failed, canceled, cached uint64
+	queued, inflight                                         int
+	busySeconds                                              float64
 
 	// Latency accounting (guarded by mu): job-lifecycle histograms plus
 	// one HTTP-request histogram per route.
@@ -171,6 +188,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.timed(routeCancel, s.handleCancel))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.timed(routeStream, s.handleStream))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.timed(routeTrace, s.handleTrace))
+	s.mux.HandleFunc("GET /v1/history/{experiment}", s.timed(routeHistory, s.handleHistory))
 	s.mux.HandleFunc("GET /healthz", s.timed(routeHealthz, s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.timed(routeMetrics, s.handleMetrics))
 	for sh := 0; sh < cfg.Shards; sh++ {
@@ -195,6 +213,7 @@ func (s *Server) Counters() Counters {
 		Completed:     s.completed,
 		Failed:        s.failed,
 		Canceled:      s.canceled,
+		Cached:        s.cached,
 		Queued:        s.queued,
 		Inflight:      s.inflight,
 		Workers:       s.cfg.Shards * s.cfg.Workers,
@@ -267,6 +286,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		id:         id,
 		spec:       spec,
 		shard:      sh,
+		specHash:   store.NewSpec(spec.Experiment, spec.options(s.cfg.JobWorkers)).Hash(),
 		traceID:    clientTrace,
 		parentSpan: clientSpan,
 		submitSpan: deriveSpanID(id, "submit"),
@@ -332,6 +352,8 @@ func (s *Server) statusLocked(j *job) JobStatus {
 		Experiment: j.spec.Experiment,
 		Status:     j.status,
 		Shard:      j.shard,
+		SpecHash:   j.specHash,
+		Cached:     j.cached,
 		Error:      j.errMsg,
 		Retriable:  j.retriable,
 		EnqueuedAt: rfc3339(j.enqueuedAt),
@@ -487,6 +509,22 @@ func (s *Server) runJob(j *job) {
 			"queue_seconds", queueWait)
 	}
 
+	// Result cache: with -cache on, a spec-hash match in the archive
+	// finishes the job right at worker pickup with the archived report
+	// — byte-identical to the original run — without simulating. The
+	// job passed through queued→running normally, so the lifecycle
+	// spans, queue-wait histogram, and counter conservation all hold;
+	// it books to the `cached` lane instead of `completed`.
+	if s.cfg.Cache && s.cfg.Archive != nil {
+		if rep, ok := s.cacheLookup(j); ok {
+			s.mu.Lock()
+			j.cached = true
+			s.finishLocked(j, rep, nil, StatusDone, false)
+			s.mu.Unlock()
+			return
+		}
+	}
+
 	ctx := j.runCtx
 	var cancelTimeout context.CancelFunc
 	if timeout > 0 {
@@ -504,6 +542,14 @@ func (s *Server) runJob(j *job) {
 	}
 	rep, err := experiments.Run(j.spec.Experiment, opts)
 
+	// Archive before the terminal transition: once the stream's
+	// manifest is out (j.done closes inside finishLocked), the record
+	// is already durable, so a second pass — or a restarted server —
+	// can never miss a result it was told about.
+	if err == nil {
+		s.archivePut(j, rep, time.Now())
+	}
+
 	s.mu.Lock()
 	switch {
 	case err == nil:
@@ -518,6 +564,72 @@ func (s *Server) runJob(j *job) {
 		s.finishLocked(j, nil, err, StatusFailed, false)
 	}
 	s.mu.Unlock()
+}
+
+// cacheLookup finds the newest archived report matching the job's spec
+// hash. Runs outside the server mutex (it reads record files).
+func (s *Server) cacheLookup(j *job) (*experiments.Report, bool) {
+	rec, ok, err := s.cfg.Archive.Latest(j.specHash)
+	if err != nil || !ok {
+		if err != nil && s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("cache lookup failed", "job_id", j.id, "error", err.Error())
+		}
+		return nil, false
+	}
+	rep, err := experiments.DecodeReport(rec.Payload)
+	if err != nil {
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("cached record undecodable; simulating",
+				"job_id", j.id, "record_id", rec.ID, "error", err.Error())
+		}
+		return nil, false
+	}
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("cache hit",
+			"job_id", j.id, "spec_hash", j.specHash, "record_id", rec.ID)
+	}
+	return rep, true
+}
+
+// archivePut persists a successfully simulated report to the archive,
+// outside the server mutex (file IO). Dedup is the store's: rerunning
+// an identical spec on the same tree appends nothing. Errors log and
+// are otherwise swallowed — archiving is observability, not the job.
+func (s *Server) archivePut(j *job, rep *experiments.Report, finished time.Time) {
+	if s.cfg.Archive == nil || rep == nil {
+		return
+	}
+	payload, err := json.Marshal(rep)
+	if err == nil {
+		_, _, err = s.cfg.Archive.PutReport(payload,
+			store.NewSpec(j.spec.Experiment, j.spec.options(s.cfg.JobWorkers)),
+			store.PutMeta{RecordedAt: finished, GitDescribe: s.cfg.GitDescribe, Source: "skiaserve"})
+	}
+	if err != nil && s.cfg.Logger != nil {
+		s.cfg.Logger.Warn("archive put failed", "job_id", j.id, "error", err.Error())
+	}
+}
+
+// handleHistory implements GET /v1/history/{experiment}: the archived
+// trajectory (points plus per-metric roll-ups) for one experiment.
+// 404 without -archive; an empty trajectory for a valid experiment is
+// a 200 with zero points.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Archive == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no archive configured (start skiaserve with -archive)"})
+		return
+	}
+	exp := r.PathValue("experiment")
+	if _, ok := experiments.Catalog()[exp]; !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown experiment " + exp})
+		return
+	}
+	hist, err := s.cfg.Archive.History(exp)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, hist)
 }
 
 // finishLocked moves a job to a terminal state, books the counters,
@@ -555,7 +667,15 @@ func (s *Server) finishLocked(j *job, rep *experiments.Report, err error, status
 	}
 	switch status {
 	case StatusDone:
-		s.completed++
+		// Cache-served jobs book to their own conserved lane:
+		// submitted = queued + inflight + completed + failed +
+		// canceled + cached, with completed counting only simulated
+		// successes.
+		if j.cached {
+			s.cached++
+		} else {
+			s.completed++
+		}
 	case StatusFailed:
 		s.failed++
 	case StatusCanceled:

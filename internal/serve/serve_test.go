@@ -381,7 +381,7 @@ func TestMetricsEndpointAndConservation(t *testing.T) {
 	// Check conservation while jobs are in flight.
 	for i := 0; i < 50; i++ {
 		cs := s.Counters()
-		total := cs.Queued + cs.Inflight + int(cs.Completed) + int(cs.Failed) + int(cs.Canceled)
+		total := cs.Queued + cs.Inflight + int(cs.Completed) + int(cs.Failed) + int(cs.Canceled) + int(cs.Cached)
 		if int(cs.Submitted) != total {
 			t.Fatalf("conservation violated mid-flight: submitted=%d partition=%d (%+v)", cs.Submitted, total, cs)
 		}
@@ -409,6 +409,7 @@ func TestMetricsEndpointAndConservation(t *testing.T) {
 	for _, want := range []string{
 		"skiaserve_jobs_submitted_total 32",
 		"skiaserve_jobs_completed_total 32",
+		"skiaserve_jobs_cached_total 0",
 		"skiaserve_jobs_queued 0",
 		"skiaserve_jobs_inflight 0",
 		"skiaserve_workers 4",

@@ -67,6 +67,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		Rows:          rows,
 		WallSeconds:   st.WallSeconds,
 		TraceID:       st.TraceID,
+		SpecHash:      st.SpecHash,
+		Cached:        st.Cached,
 		Error:         st.Error,
 		Retriable:     st.Retriable,
 	}
