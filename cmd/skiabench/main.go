@@ -24,8 +24,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
+	"reflect"
 	"runtime"
 	"strings"
 	"testing"
@@ -35,6 +37,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
@@ -141,6 +144,106 @@ func benchExperiment(f func(experiments.Options) (*experiments.Report, error)) (
 	return e, nil
 }
 
+// benchFig14Sharded measures the accelerated sweep path end to end:
+// one exact fig14 reference pass populates warmup checkpoints (and
+// SampleEcho rows), then a sampled serial pass and a sampled sharded
+// pass rerun the same sweep reusing those checkpoints. It reports the
+// combined checkpoint+sampling+sharding speedup over the exact pass
+// and the sharding parallel efficiency, and hard-fails unless (a)
+// every sampled metric's confidence interval contains the exact value
+// (the skiacmp -sample-ci tolerance: CI + 0.01 + 0.05*|exact|) and
+// (b) the sharded pass's sampling summaries are DeepEqual to the
+// serial pass's.
+func benchFig14Sharded() (Entry, error) {
+	const shards = 4
+	cache := sim.NewCheckpointCache()
+	base := experiments.Options{
+		Warmup:      16_000_000,
+		Measure:     4_000_000,
+		Benchmarks:  []string{"voter"},
+		Checkpoint:  true,
+		Checkpoints: cache,
+	}
+	plan := sim.SamplePlan{Intervals: 5, IntervalInsts: 60_000, MicroWarmup: 30_000}
+
+	run := func(o experiments.Options) (*experiments.Report, time.Duration, error) {
+		start := time.Now()
+		rep, err := experiments.Fig14(o)
+		return rep, time.Since(start), err
+	}
+
+	exactOpt := base
+	exactOpt.SampleEcho = true
+	exact, wallExact, err := run(exactOpt)
+	if err != nil {
+		return Entry{}, err
+	}
+
+	serialOpt := base
+	p := plan
+	serialOpt.Sample = &p
+	serial, wallSerial, err := run(serialOpt)
+	if err != nil {
+		return Entry{}, err
+	}
+
+	shardedOpt := base
+	ps := plan
+	ps.Shards = shards
+	shardedOpt.Sample = &ps
+	sharded, wallSharded, err := run(shardedOpt)
+	if err != nil {
+		return Entry{}, err
+	}
+
+	// Gate 1: sharding must not change results at all.
+	if !reflect.DeepEqual(serial.Sampling, sharded.Sampling) {
+		return Entry{}, fmt.Errorf("fig14-sharded: sharded sampling summaries differ from serial (shard-count invariance broken)")
+	}
+
+	// Gate 2: every sampled metric's CI must contain the exact value.
+	type key struct{ bench, label, metric string }
+	exactVals := make(map[key]float64)
+	for _, ss := range exact.Sampling {
+		for _, m := range ss.Summary.Metrics {
+			exactVals[key{ss.Benchmark, ss.Label, m.Name}] = m.Mean
+		}
+	}
+	var ciFails []string
+	for _, ss := range sharded.Sampling {
+		for _, m := range ss.Summary.Metrics {
+			want, ok := exactVals[key{ss.Benchmark, ss.Label, m.Name}]
+			if !ok {
+				ciFails = append(ciFails, fmt.Sprintf("%s/%s %s: no exact echo row", ss.Benchmark, ss.Label, m.Name))
+				continue
+			}
+			if tol := m.CI + 0.01 + 0.05*math.Abs(want); math.Abs(m.Mean-want) > tol {
+				ciFails = append(ciFails, fmt.Sprintf("%s/%s %s: sampled %.4f vs exact %.4f exceeds CI tolerance %.4f",
+					ss.Benchmark, ss.Label, m.Name, m.Mean, want, tol))
+			}
+		}
+	}
+	if len(ciFails) > 0 {
+		return Entry{}, fmt.Errorf("fig14-sharded: %d sampled metrics outside exact CI:\n  %s",
+			len(ciFails), strings.Join(ciFails, "\n  "))
+	}
+
+	e := Entry{
+		Iterations: 1,
+		NsPerOp:    float64(wallSharded.Nanoseconds()),
+		Metrics: map[string]float64{
+			"speedup_vs_exact":    wallExact.Seconds() / wallSharded.Seconds(),
+			"parallel_efficiency": wallSerial.Seconds() / (wallSharded.Seconds() * math.Min(shards, float64(runtime.NumCPU()))),
+			"exact_wall_s":        wallExact.Seconds(),
+			"serial_wall_s":       wallSerial.Seconds(),
+		},
+	}
+	if sharded.Meta.Sim != nil {
+		e.Metrics["sim_mips"] = sharded.Meta.Sim.InstructionsPerSec / 1e6
+	}
+	return e, nil
+}
+
 // registry lists every tracked benchmark in report order.
 // regEntry is one registered benchmark. maxAllocs, when >= 0, is an
 // absolute allocs/op budget enforced on every run (no baseline file
@@ -161,6 +264,7 @@ func registry() []regEntry {
 		{"frontend-cycle-nocache", func() (Entry, error) { return benchCycle(noCache) }, -1},
 		{"frontend-cycle-baseline", func() (Entry, error) { return benchCycle(cpu.DefaultConfig()) }, 1},
 		{"fig14-reduced", func() (Entry, error) { return benchExperiment(experiments.Fig14) }, -1},
+		{"fig14-sharded", benchFig14Sharded, -1},
 	}
 }
 
@@ -253,6 +357,8 @@ func main() {
 		extra := ""
 		if v, ok := e.Metrics["minsts_per_s"]; ok {
 			extra = fmt.Sprintf("%.2f Mi/s", v)
+		} else if v, ok := e.Metrics["speedup_vs_exact"]; ok {
+			extra = fmt.Sprintf("%.1fx exact", v)
 		} else if v, ok := e.Metrics["sim_mips"]; ok {
 			extra = fmt.Sprintf("%.2f MIPS", v)
 		}

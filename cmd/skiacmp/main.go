@@ -13,11 +13,19 @@
 // magnitude. Experiments, rows, or columns present in BASE but
 // missing from NEW also fail; additions only warn.
 //
-// When the envelopes carry the optional `intervals` (schema v2+) or
-// `attribution` (schema v3+) sections, those diff too: per-spec
-// interval IPC mean and SBB coverage under -iv-rtol, and attribution
-// shares (BTB-miss cause mix, stall mix, shadow residency) under the
-// absolute -attrib-tol bound.
+// When the envelopes carry the optional `intervals` (schema v2+),
+// `attribution` (schema v3+), or `sampling` (schema v5+) sections,
+// those diff too: per-spec interval IPC mean and SBB coverage under
+// -iv-rtol, attribution shares (BTB-miss cause mix, stall mix, shadow
+// residency) under the absolute -attrib-tol bound, and sampled-metric
+// point estimates under the ordinary cell rule.
+//
+// With -sample-ci the diff switches to sampled-validation mode: BASE
+// is an exact reference (run with -sample-echo so its envelope carries
+// CI-free sampling rows) and NEW a sampled run of the same experiment.
+// Only the sampling sections are compared, and each sampled metric
+// must contain the reference value inside its stated 95% confidence
+// interval plus -sample-atol + -sample-rtol*|ref| of slack.
 //
 // Exit status: 0 when NEW is within tolerance of BASE, 1 on any
 // regression, 2 on usage or load errors.
@@ -27,6 +35,12 @@
 //	skiaexp -exp all -json -out results/base   # on main
 //	skiaexp -exp all -json -out results/head   # on the candidate
 //	skiacmp results/base results/head
+//
+// Example sampled-accuracy gate:
+//
+//	skiaexp -exp fig14 -sample-echo -json -out results/exact
+//	skiaexp -exp fig14 -sample -sample-shards 8 -json -out results/sampled
+//	skiacmp -sample-ci results/exact results/sampled
 package main
 
 import (
@@ -44,6 +58,10 @@ func main() {
 		flipMin   = flag.Float64("flip-min", 1e-3, "minimum |speedup| on both sides before a sign flip counts")
 		ivRTol    = flag.Float64("iv-rtol", 0.05, "relative tolerance for per-spec interval summaries (IPC mean, SBB coverage)")
 		attribTol = flag.Float64("attrib-tol", 0.05, "absolute tolerance for attribution shares (cause/stall mix, shadow residency)")
+
+		sampleCI   = flag.Bool("sample-ci", false, "validate NEW's sampled metrics against BASE's (exact) reference values: each must land inside its 95% CI plus slack")
+		sampleATol = flag.Float64("sample-atol", 0.01, "absolute slack added to the CI bound (with -sample-ci)")
+		sampleRTol = flag.Float64("sample-rtol", 0.05, "relative slack added to the CI bound (with -sample-ci)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: skiacmp [flags] BASE NEW\n\nflags:\n")
@@ -67,6 +85,7 @@ func main() {
 	res := compare.Diff(base, head, compare.Options{
 		RTol: *rtol, ATol: *atol, FlipMin: *flipMin,
 		IVRTol: *ivRTol, AttribTol: *attribTol,
+		SampleCI: *sampleCI, SampleATol: *sampleATol, SampleRTol: *sampleRTol,
 	})
 	fmt.Print(res)
 	if res.Failed() {

@@ -235,6 +235,34 @@ func New(cfg Config) (*BTB, error) {
 	return b, nil
 }
 
+// Clone returns an independent deep copy of the BTB: same geometry,
+// same resident entries, LRU state, and statistics.
+func (b *BTB) Clone() *BTB {
+	n := &BTB{
+		cfg:     b.cfg,
+		setMask: b.setMask,
+		tagMask: b.tagMask,
+		tick:    b.tick,
+		stats:   b.stats,
+	}
+	if b.inf != nil {
+		n.inf = &infTable{
+			slots: make([]infEntry, len(b.inf.slots)),
+			n:     b.inf.n,
+			shift: b.inf.shift,
+		}
+		copy(n.inf.slots, b.inf.slots)
+	}
+	if b.sets != nil {
+		n.sets = make([][]way, len(b.sets))
+		for i, s := range b.sets {
+			n.sets[i] = make([]way, len(s))
+			copy(n.sets[i], s)
+		}
+	}
+	return n
+}
+
 // MustNew is New for static configurations.
 func MustNew(cfg Config) *BTB {
 	b, err := New(cfg)

@@ -98,6 +98,27 @@ func MustNew(sizeBytes, ways, lineSize int) *Cache {
 	return c
 }
 
+// Clone returns an independent deep copy of the cache: same geometry,
+// same resident lines and LRU state, same statistics. The OnEvict hook
+// is deliberately NOT copied — it is a closure over the original
+// owner's structures; whoever owns the clone must re-wire it.
+func (c *Cache) Clone() *Cache {
+	n := &Cache{
+		ways:     c.ways,
+		lineBits: c.lineBits,
+		setBits:  c.setBits,
+		setMask:  c.setMask,
+		tick:     c.tick,
+		stats:    c.stats,
+		sets:     make([][]line, len(c.sets)),
+	}
+	for i, s := range c.sets {
+		n.sets[i] = make([]line, len(s))
+		copy(n.sets[i], s)
+	}
+	return n
+}
+
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
 	l := addr >> c.lineBits
 	return int(l & c.setMask), l >> c.setBits

@@ -44,6 +44,21 @@ type Options struct {
 	// mix shifts directly without the near-zero blowups a relative
 	// bound would hit on rare causes. Default 0.05 (five points).
 	AttribTol float64
+	// SampleCI switches the diff to sampled-validation mode (skiacmp
+	// -sample-ci): only the envelopes' `sampling` sections are
+	// compared, base as the reference (normally an exact run with
+	// Runner.SampleEcho) and head as the sampled run under test. Each
+	// metric passes when |base.mean - head.mean| <= head.CI + base.CI
+	// + SampleATol + SampleRTol*|base.mean| — the sampled estimate
+	// must contain the reference inside its stated confidence
+	// interval, up to the slack tolerances.
+	SampleCI bool
+	// SampleATol and SampleRTol are the slack terms added to the
+	// confidence-interval bound in SampleCI mode, covering the
+	// residual bias functional warming cannot remove (wrong-path
+	// effects). Defaults 0.01 and 0.05.
+	SampleATol float64
+	SampleRTol float64
 }
 
 // withDefaults fills unset tolerance fields.
@@ -62,6 +77,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AttribTol == 0 {
 		o.AttribTol = 0.05
+	}
+	if o.SampleATol == 0 {
+		o.SampleATol = 0.01
+	}
+	if o.SampleRTol == 0 {
+		o.SampleRTol = 0.05
 	}
 	return o
 }
@@ -238,6 +259,10 @@ func Diff(base, head map[string]*experiments.Report, opt Options) *Result {
 
 // diffReport compares one experiment's tables cell by cell.
 func diffReport(res *Result, base, head *experiments.Report, opt Options) {
+	if opt.SampleCI {
+		diffSampleCI(res, base, head, opt)
+		return
+	}
 	id := base.ID
 	oldCols := base.Table.Columns()
 	newCols := head.Table.Columns()
@@ -312,6 +337,7 @@ func diffReport(res *Result, base, head *experiments.Report, opt Options) {
 	}
 	diffIntervals(res, base, head, opt)
 	diffAttribution(res, base, head, opt)
+	diffSampling(res, base, head, opt)
 }
 
 // specKey identifies one spec's envelope section entry the way table
@@ -429,6 +455,115 @@ func diffAttribution(res *Result, base, head *experiments.Report, opt Options) {
 				fmt.Sprintf("%s: attribution for [%s] only in new results", id, key))
 		}
 	}
+}
+
+// diffSampling compares the per-spec sampled-simulation summaries in
+// the envelopes' optional `sampling` section (schema v5+) as a
+// regression gate: each metric's point estimate is checked under the
+// ordinary RTol/ATol rule, like a table cell. Confidence widths are
+// not diffed — they are a property of the interval spread, not a
+// result. Missing specs or metrics fail; additions warn; absent
+// sections skip (older envelopes diff as before).
+func diffSampling(res *Result, base, head *experiments.Report, opt Options) {
+	if len(base.Sampling) == 0 && len(head.Sampling) == 0 {
+		return
+	}
+	id := base.ID
+	newByKey := make(map[string]sim.SpecSampling, len(head.Sampling))
+	for _, s := range head.Sampling {
+		newByKey[specKey(s.Benchmark, s.Label)] = s
+	}
+	seen := make(map[string]bool, len(base.Sampling))
+	for _, b := range base.Sampling {
+		key := specKey(b.Benchmark, b.Label)
+		seen[key] = true
+		h, ok := newByKey[key]
+		if !ok {
+			res.Mismatches = append(res.Mismatches,
+				fmt.Sprintf("%s: sampling for [%s] missing from new results", id, key))
+			continue
+		}
+		newMetric := metricsByName(h.Summary.Metrics)
+		for _, m := range b.Summary.Metrics {
+			nm, ok := newMetric[m.Name]
+			if !ok {
+				res.Mismatches = append(res.Mismatches,
+					fmt.Sprintf("%s: [%s] sampled metric %q missing from new results", id, key, m.Name))
+				continue
+			}
+			res.Compared++
+			checkCell(res, id, key,
+				stats.Column{Name: "sampling." + m.Name}, m.Mean, nm.Mean, opt)
+		}
+	}
+	for _, s := range head.Sampling {
+		if key := specKey(s.Benchmark, s.Label); !seen[key] {
+			res.Warnings = append(res.Warnings,
+				fmt.Sprintf("%s: sampling for [%s] only in new results", id, key))
+		}
+	}
+}
+
+// diffSampleCI validates a sampled result set against a reference
+// (Options.SampleCI): base is the reference — normally an exact run
+// whose envelope carries CI-free echo rows (Runner.SampleEcho) — and
+// head is the sampled run under test. Each metric must contain the
+// reference value inside its stated 95% confidence interval plus the
+// slack tolerances; the table, intervals, and attribution sections are
+// ignored entirely, so an exact and a sampled run of the same
+// experiment can be gated against each other even though their tables
+// legitimately differ.
+func diffSampleCI(res *Result, base, head *experiments.Report, opt Options) {
+	id := base.ID
+	if len(base.Sampling) == 0 {
+		res.Mismatches = append(res.Mismatches,
+			fmt.Sprintf("%s: reference has no sampling section (run it with -sample-echo or -sample)", id))
+		return
+	}
+	if len(head.Sampling) == 0 {
+		res.Mismatches = append(res.Mismatches,
+			fmt.Sprintf("%s: sampled results have no sampling section (run with -sample)", id))
+		return
+	}
+	newByKey := make(map[string]sim.SpecSampling, len(head.Sampling))
+	for _, s := range head.Sampling {
+		newByKey[specKey(s.Benchmark, s.Label)] = s
+	}
+	for _, b := range base.Sampling {
+		key := specKey(b.Benchmark, b.Label)
+		h, ok := newByKey[key]
+		if !ok {
+			res.Mismatches = append(res.Mismatches,
+				fmt.Sprintf("%s: sampling for [%s] missing from sampled results", id, key))
+			continue
+		}
+		newMetric := metricsByName(h.Summary.Metrics)
+		for _, m := range b.Summary.Metrics {
+			nm, ok := newMetric[m.Name]
+			if !ok {
+				res.Mismatches = append(res.Mismatches,
+					fmt.Sprintf("%s: [%s] sampled metric %q missing", id, key, m.Name))
+				continue
+			}
+			res.Compared++
+			tol := nm.CI + m.CI + opt.SampleATol + opt.SampleRTol*math.Abs(m.Mean)
+			if math.Abs(nm.Mean-m.Mean) > tol {
+				res.Findings = append(res.Findings, Finding{
+					Experiment: id, Row: key, Column: "sampling." + m.Name + " (ci-gate)",
+					Old: m.Mean, New: nm.Mean, Rel: rel(m.Mean, nm.Mean),
+				})
+			}
+		}
+	}
+}
+
+// metricsByName indexes a sampled metric list for pairing.
+func metricsByName(ms []sim.MetricCI) map[string]sim.MetricCI {
+	out := make(map[string]sim.MetricCI, len(ms))
+	for _, m := range ms {
+		out[m.Name] = m
+	}
+	return out
 }
 
 // checkShare applies the absolute AttribTol bound to one share pair.

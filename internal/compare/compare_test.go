@@ -376,3 +376,91 @@ func TestAttributionSectionsSurviveFileRoundTrip(t *testing.T) {
 		t.Errorf("loaded sections missing findings (iv=%v at=%v):\n%s", ivHit, atHit, res)
 	}
 }
+
+// mkSampled attaches a sampling section to a report: one spec with the
+// given ipc mean and CI (exact echoes use ci 0).
+func mkSampled(id string, mean, ci float64, exact bool) *experiments.Report {
+	rep := mkReport(id, 2.4, 0.05)
+	rep.Sampling = []sim.SpecSampling{{
+		Benchmark: "voter", Label: "skia",
+		Summary: sim.SampleSummary{
+			Exact: exact,
+			Metrics: []sim.MetricCI{
+				{Name: "ipc", Mean: mean, CI: ci},
+				{Name: "cond_mpki", Mean: 8.5, CI: 0.4},
+			},
+		},
+	}}
+	return rep
+}
+
+// TestSamplingSectionDrift checks the ordinary-mode sampling diff: a
+// drifted point estimate fails under RTol, a matching one passes, and
+// a vanished section is a mismatch.
+func TestSamplingSectionDrift(t *testing.T) {
+	base := map[string]*experiments.Report{"fig14": mkSampled("fig14", 2.40, 0.05, false)}
+	same := map[string]*experiments.Report{"fig14": mkSampled("fig14", 2.41, 0.08, false)}
+	if res := Diff(base, same, Options{}); res.Failed() {
+		t.Errorf("near-identical sampling failed:\n%s", res)
+	}
+	drift := map[string]*experiments.Report{"fig14": mkSampled("fig14", 2.90, 0.05, false)}
+	res := Diff(base, drift, Options{})
+	if !res.Failed() {
+		t.Fatalf("20%% sampled-ipc drift passed:\n%s", res)
+	}
+	found := false
+	for _, f := range res.Findings {
+		if f.Column == "sampling.ipc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no sampling.ipc finding:\n%s", res)
+	}
+	gone := map[string]*experiments.Report{"fig14": mkReport("fig14", 2.4, 0.05)}
+	if res := Diff(base, gone, Options{}); len(res.Mismatches) == 0 {
+		t.Errorf("vanished sampling section not a mismatch:\n%s", res)
+	}
+}
+
+// TestSampleCIGate checks sampled-validation mode: the sampled value
+// passes while the exact reference sits inside mean±(CI+slack), fails
+// outside it, and table cells are ignored entirely (the two reports'
+// tables differ wildly without failing the gate).
+func TestSampleCIGate(t *testing.T) {
+	exact := mkSampled("fig14", 2.40, 0, true)
+	exact.Table = stats.NewTable("benchmark", "other")
+	base := map[string]*experiments.Report{"fig14": exact}
+
+	// |2.52-2.40| = 0.12 <= CI 0.02 + atol 0.01 + rtol 0.05*2.40 = 0.15.
+	pass := map[string]*experiments.Report{"fig14": mkSampled("fig14", 2.52, 0.02, false)}
+	res := Diff(base, pass, Options{SampleCI: true})
+	if res.Failed() {
+		t.Errorf("in-CI sampled run failed the gate:\n%s", res)
+	}
+	if res.Compared != 2 {
+		t.Errorf("Compared = %d, want 2 (sampling metrics only)", res.Compared)
+	}
+
+	// |2.60-2.40| = 0.20 > 0.15: outside the interval.
+	fail := map[string]*experiments.Report{"fig14": mkSampled("fig14", 2.60, 0.02, false)}
+	res = Diff(base, fail, Options{SampleCI: true})
+	if !res.Failed() {
+		t.Fatalf("out-of-CI sampled run passed the gate:\n%s", res)
+	}
+	if f := res.Findings[0]; !strings.Contains(f.Column, "ci-gate") {
+		t.Errorf("finding = %+v", f)
+	}
+
+	// A wider stated CI absorbs the same delta.
+	wide := map[string]*experiments.Report{"fig14": mkSampled("fig14", 2.60, 0.10, false)}
+	if res := Diff(base, wide, Options{SampleCI: true}); res.Failed() {
+		t.Errorf("wide-CI sampled run failed the gate:\n%s", res)
+	}
+
+	// A reference without a sampling section is a usage error.
+	bare := map[string]*experiments.Report{"fig14": mkReport("fig14", 2.4, 0.05)}
+	if res := Diff(bare, pass, Options{SampleCI: true}); len(res.Mismatches) == 0 {
+		t.Error("reference without sampling section accepted")
+	}
+}

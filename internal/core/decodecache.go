@@ -93,6 +93,33 @@ func NewDecodeCache(maxLines int, differential bool) *DecodeCache {
 	}
 }
 
+// Clone returns an independent deep copy of the cache: same memoized
+// decodes and statistics. The free pools are not carried over (they are
+// allocation-recycling scratch, not simulator state), so a clone's
+// first few invalidations allocate; steady-state behavior and all
+// decode results are identical.
+func (c *DecodeCache) Clone() *DecodeCache {
+	n := &DecodeCache{
+		lines:        make(map[uint64]*lineDecodes, len(c.lines)),
+		maxLines:     c.maxLines,
+		differential: c.differential,
+		stats:        c.stats,
+	}
+	for addr, ld := range c.lines {
+		nl := &lineDecodes{entries: make([]cachedDecode, len(ld.entries))}
+		copy(nl.entries, ld.entries)
+		for i := range nl.entries {
+			if b := nl.entries[i].branches; b != nil {
+				nb := make([]ShadowBranch, len(b))
+				copy(nb, b)
+				nl.entries[i].branches = nb
+			}
+		}
+		n.lines[addr] = nl
+	}
+	return n
+}
+
 // Stats returns accumulated cache counters.
 func (c *DecodeCache) Stats() DecodeCacheStats { return c.stats }
 

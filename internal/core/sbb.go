@@ -131,6 +131,29 @@ type SBB struct {
 	OnRemove func(pc uint64)
 }
 
+// Clone returns an independent deep copy of the SBB: same buffer
+// contents, LRU state, and statistics. The OnEvict/Clock/OnRemove hooks
+// are deliberately NOT copied — they are closures over the original
+// owner's structures; whoever owns the clone must re-wire them.
+func (s *SBB) Clone() *SBB {
+	n := &SBB{
+		cfg:   s.cfg,
+		uSets: make([][]uWay, len(s.uSets)),
+		rSets: make([][]rWay, len(s.rSets)),
+		tick:  s.tick,
+		stats: s.stats,
+	}
+	for i, set := range s.uSets {
+		n.uSets[i] = make([]uWay, len(set))
+		copy(n.uSets[i], set)
+	}
+	for i, set := range s.rSets {
+		n.rSets[i] = make([]rWay, len(set))
+		copy(n.rSets[i], set)
+	}
+	return n
+}
+
 // removed fires OnRemove for a departing entry.
 func (s *SBB) removed(pc uint64) {
 	if s.OnRemove != nil {

@@ -154,6 +154,19 @@ type SBD struct {
 	visits  [program.LineSize]int
 }
 
+// Clone returns an independent deep copy of the decoder's config,
+// statistics, and scratch state. The OnHeadPaths hook and the attached
+// decode cache are NOT carried over: the hook is a closure over the
+// original owner, and the cache must be cloned separately and
+// re-attached so the copy does not share memo storage.
+func (d *SBD) Clone() *SBD {
+	n := &SBD{cfg: d.cfg, stats: d.stats}
+	n.lengths = d.lengths
+	n.valid = d.valid
+	n.visits = d.visits
+	return n
+}
+
 // AttachCache installs (or, with nil, removes) a decode cache. The
 // cache memoizes DecodeHead/DecodeTail results so hot L1-I lines
 // re-entering the FTQ skip re-length-decoding; replayed statistics are

@@ -120,6 +120,41 @@ func New(cfg Config, w *workload.Workload) (*Core, error) {
 // Frontend exposes the front-end for inspection.
 func (c *Core) Frontend() *frontend.FrontEnd { return c.fe }
 
+// Clone returns an independent deep copy of the core: full front-end
+// state (see frontend.Clone), backend occupancy, and window counters.
+// The clone carries the latency-adjusted config New derived, so clones
+// of clones stay consistent. Observability attachments (collector,
+// tracer, attribution) do not carry over; callers attach their own.
+func (c *Core) Clone() *Core {
+	return &Core{
+		cfg:     c.cfg,
+		fe:      c.fe.Clone(),
+		cycles:  c.cycles,
+		retired: c.retired,
+		rob:     c.rob,
+	}
+}
+
+// FastForward functionally advances the true path by up to n
+// instructions (emulator only — no cycles, no predictor or cache
+// training) and squashes the in-flight pipeline, including the ROB
+// contents, mirroring the front-end's deep-resteer resync. Skipped
+// instructions do not count as retired; window counters are unchanged.
+// It returns the number of instructions skipped (short only on halt).
+func (c *Core) FastForward(n uint64) uint64 {
+	c.rob = 0
+	return c.fe.FastForward(n)
+}
+
+// FastForwardWarm is FastForward with functional warming: predictors
+// and instruction caches are trained on the skipped true path (see
+// frontend.FastForwardWarm). Skipped instructions still do not count as
+// retired.
+func (c *Core) FastForwardWarm(n uint64) uint64 {
+	c.rob = 0
+	return c.fe.FastForwardWarm(n)
+}
+
 // Cycles returns the cycles simulated since the last ResetStats.
 func (c *Core) Cycles() uint64 { return c.cycles }
 
@@ -227,17 +262,30 @@ func (c *Core) Result(benchmark string) Result {
 	if sbd := c.fe.SBD(); sbd != nil {
 		res.SBD = sbd.Stats()
 	}
-	res.BTBMissMPKI = stats.MPKI(fe.BTBMissTotal(), c.retired)
-	res.EffectiveMissMPKI = stats.MPKI(fe.BTBMissTotal()-fe.SBBCoveredTotal(), c.retired)
-	res.L1IMPKI = stats.MPKI(res.L1I.PrefetchFills, c.retired)
-	if t := fe.BTBMissTotal(); t > 0 {
-		res.BTBMissL1IHitFrac = float64(fe.BTBMissL1IHit) / float64(t)
-	}
-	if c.cycles > 0 {
-		res.DecodeIdleFrac = float64(fe.DecodeIdleCycles) / float64(c.cycles)
-	}
-	res.CondMPKI = stats.MPKI(fe.CondMispredicts, c.retired)
+	res.Derive()
 	return res
+}
+
+// Derive recomputes every derived metric (IPC, the MPKI family, the
+// idle and residency fractions) from the raw counters. Core.Result
+// calls it on fresh snapshots; sampled simulation (internal/sim) calls
+// it after summing the counters of several measurement intervals, so
+// point estimates are ratios of summed counters rather than means of
+// per-interval ratios.
+func (r *Result) Derive() {
+	r.IPC = stats.IPC(r.Instructions, r.Cycles)
+	r.BTBMissMPKI = stats.MPKI(r.FE.BTBMissTotal(), r.Instructions)
+	r.EffectiveMissMPKI = stats.MPKI(r.FE.BTBMissTotal()-r.FE.SBBCoveredTotal(), r.Instructions)
+	r.L1IMPKI = stats.MPKI(r.L1I.PrefetchFills, r.Instructions)
+	r.BTBMissL1IHitFrac = 0
+	if t := r.FE.BTBMissTotal(); t > 0 {
+		r.BTBMissL1IHitFrac = float64(r.FE.BTBMissL1IHit) / float64(t)
+	}
+	r.DecodeIdleFrac = 0
+	if r.Cycles > 0 {
+		r.DecodeIdleFrac = float64(r.FE.DecodeIdleCycles) / float64(r.Cycles)
+	}
+	r.CondMPKI = stats.MPKI(r.FE.CondMispredicts, r.Instructions)
 }
 
 // BTBAccessLatency returns the approximate pipeline cycles to access a

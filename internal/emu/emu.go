@@ -56,6 +56,24 @@ func New(w *workload.Workload) *Emulator {
 	}
 }
 
+// Clone returns an independent deep copy of the emulator sharing only
+// the immutable workload. Stepping either copy never affects the
+// other, which is what makes post-warmup checkpointing sound: every
+// sample interval derives from the same architectural state.
+func (e *Emulator) Clone() *Emulator {
+	c := &Emulator{
+		w:      e.w,
+		pc:     e.pc,
+		stack:  make([]uint64, len(e.stack)),
+		visits: make([]uint64, len(e.visits)),
+		count:  e.count,
+		halted: e.halted,
+	}
+	copy(c.stack, e.stack)
+	copy(c.visits, e.visits)
+	return c
+}
+
 // PC returns the address of the next instruction to execute.
 func (e *Emulator) PC() uint64 { return e.pc }
 

@@ -53,6 +53,31 @@ type Options struct {
 	// Reports are identical either way — the flag exists for
 	// differential testing and performance comparison.
 	NoDecodeCache bool
+	// Sample, when non-nil, switches every run to sampled simulation
+	// (see sim.SamplePlan): K detail intervals spliced evenly across
+	// the measurement window, skipped-over stretches covered by
+	// functionally-warmed fast-forward. Every headline metric gains a
+	// 95% confidence interval, embedded in the report envelope's
+	// `sampling` section. Table cells then hold sampled estimates, not
+	// exact counts.
+	Sample *sim.SamplePlan
+	// Checkpoint enables warmup checkpointing: specs sharing a
+	// (benchmark, warmup, config) prefix pay detail warmup once and
+	// continue from clones of the warmed core. Bit-identical results,
+	// less wall-clock.
+	Checkpoint bool
+	// Checkpoints, when non-nil (with Checkpoint set), is the warmed-
+	// master store runs draw from. Passing the same cache to several
+	// harness calls shares warmups across them — e.g. an exact
+	// reference sweep followed by a sampled sweep of the same figure
+	// pays each (benchmark, config, warmup) cell once. nil keeps the
+	// store private to this call.
+	Checkpoints *sim.CheckpointCache
+	// SampleEcho makes exact (non-sampled) runs publish a CI-free
+	// sampling summary row too, so an exact reference report carries
+	// the values a sampled report's confidence intervals are gated
+	// against (skiacmp -sample-ci).
+	SampleEcho bool
 	// Context, when non-nil, bounds every simulation the harness runs:
 	// cancellation or deadline expiry aborts in-flight runs at the next
 	// instruction chunk and the harness returns an error wrapping
@@ -80,6 +105,10 @@ func (o Options) runner() *sim.Runner {
 	r.Workers = o.Workers
 	r.Interval = o.Interval
 	r.Attrib = o.Attrib
+	r.Sample = o.Sample
+	r.Checkpoint = o.Checkpoint
+	r.Checkpoints = o.Checkpoints
+	r.SampleEcho = o.SampleEcho
 	r.BaseContext = o.Context
 	r.OnProgress = o.Progress
 	return r
@@ -109,6 +138,11 @@ type Report struct {
 	// Serialized as the envelope's optional `attribution` section
 	// (schema v3).
 	Attribution []sim.SpecAttribution
+	// Sampling holds one sampled-simulation summary per simulated spec
+	// when the run sampled (Options.Sample) or echoed exact values
+	// (Options.SampleEcho); nil otherwise. Serialized as the
+	// envelope's optional `sampling` section (schema v5).
+	Sampling []sim.SpecSampling
 }
 
 // String renders the report.

@@ -28,7 +28,13 @@ import (
 //	    spec (internal/store.SpecOfReport) is fully recoverable from
 //	    the envelope alone. Purely additive: older reports decode as
 //	    v4 reports with a zero (collection off) interval.
-const SchemaVersion = 4
+//	5 — adds the optional `sampling` section (per-spec sampled-
+//	    simulation summaries: metric point estimates with 95%
+//	    confidence intervals, interval/skip accounting) and the
+//	    meta.sample_* fields recording the effective sample plan.
+//	    Purely additive: older reports decode as v5 reports with no
+//	    sampling (exact simulation).
+const SchemaVersion = 5
 
 // minSchemaVersion is the oldest envelope DecodeReport still reads.
 const minSchemaVersion = 1
@@ -57,6 +63,24 @@ type RunMeta struct {
 	// the run's simulation-affecting spec is recoverable from the
 	// envelope (internal/store keys its archive on it).
 	IntervalInstructions uint64 `json:"interval_instructions,omitempty"`
+	// SampleIntervals, SampleIntervalInstructions,
+	// SampleMicroWarmupInstructions, and SampleWarmWindowInstructions
+	// are the effective sampled-simulation plan (Options.Sample,
+	// defaults resolved): K detail intervals of this many instructions
+	// each, preceded by this much detail re-warmup, with functional
+	// warming bounded to the final warm-window instructions of each
+	// skip (0 = the whole distance warms). All zero when the run was
+	// exact. These change the simulated result, so they are part of
+	// the recoverable spec (internal/store.SpecOfReport). Schema v5.
+	SampleIntervals               int    `json:"sample_intervals,omitempty"`
+	SampleIntervalInstructions    uint64 `json:"sample_interval_instructions,omitempty"`
+	SampleMicroWarmupInstructions uint64 `json:"sample_micro_warmup_instructions,omitempty"`
+	SampleWarmWindowInstructions  uint64 `json:"sample_warm_window_instructions,omitempty"`
+	// SampleShards is the intra-run sharding width the sampled run fan
+	// out over. Recorded for provenance only: shard count never
+	// changes the result (sharded and serial runs are DeepEqual), so
+	// it is not part of the spec. Schema v5.
+	SampleShards int `json:"sample_shards,omitempty"`
 	// ConfigLabels lists the distinct RunSpec labels simulated
 	// (e.g. ["baseline","both","head","tail"]), in the runner's
 	// sorted spec order.
@@ -85,6 +109,14 @@ func (o Options) stamp(rep *Report, r *sim.Runner, benches []string) *Report {
 	}
 	m := RunMeta{WarmupInstructions: warm, MeasureInstructions: meas,
 		IntervalInstructions: o.Interval}
+	if o.Sample != nil {
+		p := o.Sample.Normalized(meas)
+		m.SampleIntervals = p.Intervals
+		m.SampleIntervalInstructions = p.IntervalInsts
+		m.SampleMicroWarmupInstructions = p.MicroWarmup
+		m.SampleWarmWindowInstructions = p.WarmWindow
+		m.SampleShards = p.Shards
+	}
 	for _, b := range benches {
 		ref := BenchmarkRef{Name: b}
 		if p, err := workload.ByName(b); err == nil {
@@ -104,6 +136,7 @@ func (o Options) stamp(rep *Report, r *sim.Runner, benches []string) *Report {
 		}
 		rep.Intervals = r.IntervalSummaries()
 		rep.Attribution = r.AttributionSummaries()
+		rep.Sampling = r.SamplingSummaries()
 	}
 	rep.Meta = m
 	return rep
@@ -121,6 +154,7 @@ type reportJSON struct {
 	Notes         []string              `json:"notes,omitempty"`
 	Intervals     []sim.SpecIntervals   `json:"intervals,omitempty"`
 	Attribution   []sim.SpecAttribution `json:"attribution,omitempty"`
+	Sampling      []sim.SpecSampling    `json:"sampling,omitempty"`
 }
 
 // MarshalJSON wraps the report in the versioned run-metadata envelope.
@@ -134,6 +168,7 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Notes:         r.Notes,
 		Intervals:     r.Intervals,
 		Attribution:   r.Attribution,
+		Sampling:      r.Sampling,
 	})
 }
 
@@ -155,7 +190,7 @@ func (r *Report) UnmarshalJSON(b []byte) error {
 		return fmt.Errorf("experiments: report %q has no table", j.ID)
 	}
 	*r = Report{ID: j.ID, Title: j.Title, Table: j.Table, Notes: j.Notes, Meta: j.Meta,
-		Intervals: j.Intervals, Attribution: j.Attribution}
+		Intervals: j.Intervals, Attribution: j.Attribution, Sampling: j.Sampling}
 	return nil
 }
 

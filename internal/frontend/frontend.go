@@ -154,6 +154,13 @@ type FrontEnd struct {
 	// dcache memoizes shadow decodes (nil when disabled); invalidated by
 	// the L1-I eviction hook.
 	dcache *core.DecodeCache
+	// warmMemo memoizes shadow-decode results during warm fast-forward,
+	// keyed by region. Unlike dcache it is never invalidated: decode
+	// results are pure functions of the immutable program bytes, and
+	// hit vs. miss is result-identical (only SBD/dcache statistics
+	// differ, which warm skipping perturbs freely anyway). Lazily
+	// built; not carried across Clone.
+	warmMemo map[warmDecodeKey][]core.ShadowBranch
 
 	// tr, when non-nil, observes re-steers, misses, and shadow-decode
 	// events; every emission site nil-checks it so a disabled trace

@@ -83,6 +83,22 @@ func (q *Queue[T]) Flush() {
 	q.head, q.count = 0, 0
 }
 
+// Clone returns an independent deep copy of the queue. cloneElem, when
+// non-nil, deep-copies each live element (needed when T holds pointers
+// or slices); nil means plain value copies suffice.
+func (q *Queue[T]) Clone(cloneElem func(T) T) *Queue[T] {
+	n := &Queue[T]{buf: make([]T, len(q.buf)), head: q.head, count: q.count}
+	for i := 0; i < q.count; i++ {
+		idx := (q.head + i) % len(q.buf)
+		if cloneElem != nil {
+			n.buf[idx] = cloneElem(q.buf[idx])
+		} else {
+			n.buf[idx] = q.buf[idx]
+		}
+	}
+	return n
+}
+
 // At returns the i-th oldest element (0 = front) for inspection.
 func (q *Queue[T]) At(i int) (T, bool) {
 	var zero T

@@ -191,6 +191,43 @@ func New(cfg Config) *Predictor {
 	return p
 }
 
+// clone returns an independent deep copy of one history state.
+func (h *histState) clone() histState {
+	c := histState{}
+	if h.ghist != nil {
+		c.ghist = &history{
+			bits: make([]uint64, len(h.ghist.bits)),
+			ptr:  h.ghist.ptr,
+			mask: h.ghist.mask,
+		}
+		copy(c.ghist.bits, h.ghist.bits)
+	}
+	if h.folds != nil {
+		c.folds = make([][2]folded, len(h.folds))
+		copy(c.folds, h.folds)
+	}
+	return c
+}
+
+// Clone returns an independent deep copy of the predictor: same table
+// contents, both history states, and statistics.
+func (p *Predictor) Clone() *Predictor {
+	n := &Predictor{
+		cfg:    p.cfg,
+		base:   make([]baseEntry, len(p.base)),
+		tables: make([]table, len(p.tables)),
+		spec:   p.spec.clone(),
+		arch:   p.arch.clone(),
+		stats:  p.stats,
+	}
+	copy(n.base, p.base)
+	for i, t := range p.tables {
+		n.tables[i] = table{entries: make([]taggedEntry, len(t.entries)), histLen: t.histLen}
+		copy(n.tables[i].entries, t.entries)
+	}
+	return n
+}
+
 func (p *Predictor) index(i int, pc uint64) uint32 {
 	mask := uint32(1<<p.cfg.LogTagged) - 1
 	return (uint32(pc) ^ uint32(pc>>uint(p.cfg.LogTagged)) ^ uint32(p.spec.folds[i][0].comp)) & mask

@@ -59,6 +59,13 @@ func (s *Stack) Depth() int { return s.n }
 // Capacity returns the configured depth.
 func (s *Stack) Capacity() int { return len(s.buf) }
 
+// Clone returns an independent deep copy of the stack.
+func (s *Stack) Clone() *Stack {
+	buf := make([]uint64, len(s.buf))
+	copy(buf, s.buf)
+	return &Stack{buf: buf, top: s.top, n: s.n}
+}
+
 // Snapshot captures the full RAS state for later restoration.
 type Snapshot struct {
 	buf []uint64

@@ -70,7 +70,7 @@ func TestAPIStreamExampleDecodes(t *testing.T) {
 	example := extractFenced(t, readDoc(t, "../../API.md"), "API.md", "### Example: result stream", "ndjson")
 	manifest, err := serve.ParseStream(strings.NewReader(example), func(ev serve.StreamEvent) error {
 		switch ev.Type {
-		case "job", "progress", "columns", "row", "intervals", "report", "error", "manifest":
+		case "job", "progress", "columns", "row", "intervals", "sampling", "report", "error", "manifest":
 		default:
 			t.Errorf("documented stream has unknown event type %q", ev.Type)
 		}
@@ -136,7 +136,7 @@ func TestDocsMentionEverySpecField(t *testing.T) {
 		}
 	}
 	// The stream event types themselves.
-	for _, typ := range []string{"job", "progress", "columns", "row", "intervals", "report", "error", "manifest"} {
+	for _, typ := range []string{"job", "progress", "columns", "row", "intervals", "sampling", "report", "error", "manifest"} {
 		if !strings.Contains(api, "`"+typ+"`") {
 			t.Errorf("API.md does not document stream event type %q", typ)
 		}

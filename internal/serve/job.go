@@ -43,6 +43,23 @@ type JobSpec struct {
 	// Attrib enables per-cause BTB-miss attribution (report envelope
 	// `attribution` section). Requires schema version >= 3.
 	Attrib bool `json:"attrib,omitempty"`
+	// Sample switches every run to sampled simulation (report envelope
+	// `sampling` section): K detail intervals spliced over the
+	// measurement window, each headline metric with a 95% CI. The plan
+	// comes from the meta sample_* fields (sample_intervals,
+	// sample_interval_instructions, sample_micro_warmup_instructions,
+	// sample_warm_window_instructions, sample_shards), defaults
+	// resolved; setting any of those implies Sample. Requires schema
+	// version >= 5.
+	Sample bool `json:"sample,omitempty"`
+	// Checkpoint shares detail warmup between the job's runs with the
+	// same (benchmark, warmup, config): bit-identical results, less
+	// wall-clock. Requires schema version >= 5.
+	Checkpoint bool `json:"checkpoint,omitempty"`
+	// SampleEcho makes exact runs publish CI-free `sampling` rows, the
+	// reference side of a skiacmp -sample-ci gate. Requires schema
+	// version >= 5.
+	SampleEcho bool `json:"sample_echo,omitempty"`
 	// TimeoutSeconds bounds the job's wall-clock run time; expiry
 	// cancels the simulation and fails the job with a non-retriable
 	// timeout error. Zero uses the server default.
@@ -73,10 +90,26 @@ func (s JobSpec) Validate() error {
 	if s.SchemaVersion != 0 && s.SchemaVersion < 3 && s.Attrib {
 		return fmt.Errorf("attrib requires schema_version >= 3 (got %d)", s.SchemaVersion)
 	}
+	if s.SchemaVersion != 0 && s.SchemaVersion < 5 && s.sampling() {
+		return fmt.Errorf("sample/checkpoint/sample_echo require schema_version >= 5 (got %d)", s.SchemaVersion)
+	}
+	if s.Meta.SampleIntervals < 0 || s.Meta.SampleShards < 0 {
+		return fmt.Errorf("sample_intervals and sample_shards must be >= 0")
+	}
 	if s.TimeoutSeconds < 0 {
 		return fmt.Errorf("timeout_seconds must be >= 0")
 	}
 	return nil
+}
+
+// sampling reports whether the spec asks for any schema-v5 sampling
+// feature: the explicit toggles or an implicit plan via the meta
+// sample_* fields.
+func (s JobSpec) sampling() bool {
+	return s.Sample || s.Checkpoint || s.SampleEcho ||
+		s.Meta.SampleIntervals != 0 || s.Meta.SampleIntervalInstructions != 0 ||
+		s.Meta.SampleMicroWarmupInstructions != 0 ||
+		s.Meta.SampleWarmWindowInstructions != 0 || s.Meta.SampleShards != 0
 }
 
 // options translates the spec into harness options. Per-job simulation
@@ -84,11 +117,24 @@ func (s JobSpec) Validate() error {
 // worker pool owns the machine's parallelism budget.
 func (s JobSpec) options(jobWorkers int) experiments.Options {
 	o := experiments.Options{
-		Warmup:   s.Meta.WarmupInstructions,
-		Measure:  s.Meta.MeasureInstructions,
-		Workers:  jobWorkers,
-		Interval: s.Interval,
-		Attrib:   s.Attrib,
+		Warmup:     s.Meta.WarmupInstructions,
+		Measure:    s.Meta.MeasureInstructions,
+		Workers:    jobWorkers,
+		Interval:   s.Interval,
+		Attrib:     s.Attrib,
+		Checkpoint: s.Checkpoint,
+		SampleEcho: s.SampleEcho,
+	}
+	if s.Sample || s.Meta.SampleIntervals != 0 || s.Meta.SampleIntervalInstructions != 0 ||
+		s.Meta.SampleMicroWarmupInstructions != 0 ||
+		s.Meta.SampleWarmWindowInstructions != 0 || s.Meta.SampleShards != 0 {
+		o.Sample = &sim.SamplePlan{
+			Intervals:     s.Meta.SampleIntervals,
+			IntervalInsts: s.Meta.SampleIntervalInstructions,
+			MicroWarmup:   s.Meta.SampleMicroWarmupInstructions,
+			WarmWindow:    s.Meta.SampleWarmWindowInstructions,
+			Shards:        s.Meta.SampleShards,
+		}
 	}
 	for _, b := range s.Meta.Benchmarks {
 		o.Benchmarks = append(o.Benchmarks, b.Name)
@@ -228,6 +274,7 @@ type JobManifest struct {
 //	"columns"   → Columns: result-table column descriptors
 //	"row"       → Row: one result-table row
 //	"intervals" → Intervals: one spec's interval-metrics summary
+//	"sampling"  → Sampling: one spec's sampled-simulation summary
 //	"report"    → Report: the full versioned report envelope
 //	"error"     → Error: terminal failure description
 //	"manifest"  → Manifest: closing summary (always the last line)
@@ -238,6 +285,7 @@ type StreamEvent struct {
 	Columns   []stats.Column      `json:"columns,omitempty"`
 	Row       *Row                `json:"row,omitempty"`
 	Intervals *sim.SpecIntervals  `json:"intervals,omitempty"`
+	Sampling  *sim.SpecSampling   `json:"sampling,omitempty"`
 	Report    *experiments.Report `json:"report,omitempty"`
 	Error     *JobError           `json:"error,omitempty"`
 	Manifest  *JobManifest        `json:"manifest,omitempty"`

@@ -15,7 +15,8 @@ import (
 // moved — an idle queue produces one frame, then silence). Once the
 // job reaches a terminal state (or the client goes away) the handler
 // delivers the result: `columns` + one `row` per table row + optional
-// `intervals` summaries + the full `report` envelope on success, an
+// `intervals` and `sampling` summaries + the full `report` envelope on
+// success, an
 // `error` event on failure — and in every case exactly one final
 // `manifest` event, so counting manifests reconciles jobs exactly.
 // Progress frames never carry result content, so the result portion of
@@ -54,6 +55,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		for i := range rep.Intervals {
 			enc.Encode(StreamEvent{Type: "intervals", Intervals: &rep.Intervals[i]})
+		}
+		for i := range rep.Sampling {
+			enc.Encode(StreamEvent{Type: "sampling", Sampling: &rep.Sampling[i]})
 		}
 		enc.Encode(StreamEvent{Type: "report", Report: rep})
 	} else if j.runErr != nil {

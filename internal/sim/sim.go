@@ -54,6 +54,10 @@ type RunSpec struct {
 	// Runner's Attrib flag enables it for every spec). Each run gets a
 	// private attrib.Engine, so RunAll stays race-free.
 	Attrib bool
+	// Sample, when non-nil, switches this spec to sampled simulation
+	// (overriding the Runner's plan; see SamplePlan). nil falls back to
+	// the Runner's Sample, and exact simulation when both are nil.
+	Sample *SamplePlan
 }
 
 // Result pairs a cpu.Result with its spec label.
@@ -66,6 +70,11 @@ type Result struct {
 	// Attribution holds the miss-attribution summary when the spec (or
 	// runner) enabled it; nil otherwise.
 	Attribution *attrib.Summary
+	// Sampling holds the sampled-simulation summary (per-metric
+	// confidence intervals, conservation counters) when the run was
+	// sampled, or an exact echo when Runner.SampleEcho was set; nil
+	// otherwise.
+	Sampling *SampleSummary
 }
 
 // SpecIntervals pairs one spec's interval summary with its identity,
@@ -128,6 +137,27 @@ type Runner struct {
 	// Attrib enables miss attribution on every Run; specs can also opt
 	// in individually via RunSpec.Attrib.
 	Attrib bool
+	// Sample, when non-nil, switches every Run whose spec leaves
+	// RunSpec.Sample nil to sampled simulation (see SamplePlan).
+	Sample *SamplePlan
+	// Checkpoint enables warmup checkpointing: one warmed master core
+	// is kept per (benchmark, config, warmup) and every run starts from
+	// a clone, so specs sharing a warmup prefix pay it once. Exact
+	// results are bit-identical with or without checkpointing (clones
+	// are exact state copies).
+	Checkpoint bool
+	// Checkpoints, when non-nil (and Checkpoint is set), is the store
+	// warmed masters live in. Sharing one CheckpointCache across
+	// runners extends warmup reuse beyond a single sweep — e.g. an
+	// exact reference pass followed by a sampled pass pays each
+	// (benchmark, config, warmup) cell once. nil keeps a runner-local
+	// store.
+	Checkpoints *CheckpointCache
+	// SampleEcho, when set, makes exact (non-sampled) runs publish a
+	// sampling summary too: exact metric values with zero confidence
+	// intervals. It exists so a CI job can diff a sampled sweep against
+	// an exact one with skiacmp -sample-ci over identical keys.
+	SampleEcho bool
 	// BaseContext, when non-nil, bounds every Run and RunAll call that
 	// does not receive an explicit context: cancellation or deadline
 	// expiry aborts simulations between instruction chunks. nil means
@@ -160,6 +190,7 @@ type Runner struct {
 	timings      []SpecTiming
 	intervalSums []SpecIntervals
 	attribSums   []SpecAttribution
+	samplingSums []SpecSampling
 	totalInsts   uint64
 	cpuSeconds   float64
 	firstStart   time.Time
@@ -192,9 +223,10 @@ func (r *Runner) Workload(name string) (*workload.Workload, error) {
 }
 
 // record books one successful simulation into the runner's timing
-// counters, together with its interval summary when a collector ran
-// and its attribution summary when an engine was attached.
-func (r *Runner) record(spec RunSpec, insts uint64, start, end time.Time, col *metrics.Collector, at *attrib.Summary) {
+// counters, together with its interval summary when interval metrics
+// ran, its attribution summary when an engine was attached, and its
+// sampling summary when the run was sampled (or exact-echoed).
+func (r *Runner) record(spec RunSpec, insts uint64, start, end time.Time, ivSum *metrics.Summary, at *attrib.Summary, samp *SampleSummary) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.timings = append(r.timings, SpecTiming{
@@ -203,11 +235,11 @@ func (r *Runner) record(spec RunSpec, insts uint64, start, end time.Time, col *m
 		Instructions: insts,
 		Seconds:      end.Sub(start).Seconds(),
 	})
-	if col != nil {
+	if ivSum != nil {
 		r.intervalSums = append(r.intervalSums, SpecIntervals{
 			Benchmark: spec.Benchmark,
 			Label:     spec.Label,
-			Summary:   col.Summary(),
+			Summary:   *ivSum,
 		})
 	}
 	if at != nil {
@@ -215,6 +247,13 @@ func (r *Runner) record(spec RunSpec, insts uint64, start, end time.Time, col *m
 			Benchmark: spec.Benchmark,
 			Label:     spec.Label,
 			Summary:   *at,
+		})
+	}
+	if samp != nil {
+		r.samplingSums = append(r.samplingSums, SpecSampling{
+			Benchmark: spec.Benchmark,
+			Label:     spec.Label,
+			Summary:   *samp,
 		})
 	}
 	r.totalInsts += insts
@@ -372,14 +411,30 @@ func (r *Runner) runContext(ctx context.Context, spec RunSpec, plan bool) (Resul
 	}
 	warm, meas := spec.windows()
 	if plan {
-		r.addPlanned(warm + meas)
+		r.addPlanned(r.plannedInsts(spec))
 	}
-	c, err := cpu.New(spec.Config, w)
+	c, err := r.warmCore(ctx, spec, w, warm)
 	if err != nil {
 		return Result{}, err
 	}
-	if err := r.runWindow(ctx, c, warm); err != nil {
-		return Result{}, fmt.Errorf("sim: %s: warmup aborted: %w", spec.Benchmark, err)
+	if p := r.specPlan(spec); p != nil {
+		np := p.normalized(meas)
+		interval := spec.Interval
+		if interval == 0 {
+			interval = r.Interval
+		}
+		out, detail, err := r.runSampled(ctx, spec, c, np, meas, interval)
+		if err != nil {
+			return Result{}, err
+		}
+		var ivSum *metrics.Summary
+		if interval > 0 {
+			s := metrics.Summarize(interval, out.Intervals)
+			ivSum = &s
+		}
+		//skia:nondet-ok wall-clock closes the throughput window opened above; no simulated state depends on it
+		r.record(spec, warm+detail, start, time.Now(), ivSum, nil, out.Sampling)
+		return out, nil
 	}
 	c.ResetStats()
 	// Observability attaches at the warmup boundary so intervals and
@@ -416,9 +471,12 @@ func (r *Runner) runContext(ctx context.Context, spec RunSpec, plan bool) (Resul
 			spec.Benchmark, res.FE.ForcedResyncs)
 	}
 	out := Result{Result: res, Label: spec.Label}
+	var ivSum *metrics.Summary
 	if col != nil {
 		col.Finish(c.Sample())
 		out.Intervals = col.Intervals()
+		s := col.Summary()
+		ivSum = &s
 	}
 	var atSum *attrib.Summary
 	if eng != nil {
@@ -426,8 +484,11 @@ func (r *Runner) runContext(ctx context.Context, spec RunSpec, plan bool) (Resul
 		atSum = &s
 		out.Attribution = atSum
 	}
+	if r.SampleEcho {
+		out.Sampling = exactEcho(&res, meas)
+	}
 	//skia:nondet-ok wall-clock closes the throughput window opened above; no simulated state depends on it
-	r.record(spec, warm+meas, start, time.Now(), col, atSum)
+	r.record(spec, warm+meas, start, time.Now(), ivSum, atSum, out.Sampling)
 	return out, nil
 }
 
@@ -489,8 +550,7 @@ func (r *Runner) RunAllContext(ctx context.Context, specs []RunSpec) ([]Result, 
 	}
 	var planned uint64
 	for _, s := range specs {
-		warm, meas := s.windows()
-		planned += warm + meas
+		planned += r.plannedInsts(s)
 	}
 	r.addPlanned(planned)
 	results := make([]Result, len(specs))

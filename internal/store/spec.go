@@ -34,6 +34,22 @@ type Spec struct {
 	IntervalInstructions uint64 `json:"interval_instructions,omitempty"`
 	// Attrib records whether BTB-miss attribution was collected.
 	Attrib bool `json:"attrib,omitempty"`
+	// SampleIntervals, SampleIntervalInstructions,
+	// SampleMicroWarmupInstructions, and SampleWarmWindowInstructions
+	// are the normalized sampled-simulation plan, all zero for exact
+	// runs (a zero warm window means full-distance warming). These
+	// change the simulated numbers, so they key the archive. Knobs
+	// that provably do not change results — shard count, warmup
+	// checkpointing, worker count — are deliberately absent: a sharded
+	// and a serial run of the same plan share one trajectory.
+	SampleIntervals               int    `json:"sample_intervals,omitempty"`
+	SampleIntervalInstructions    uint64 `json:"sample_interval_instructions,omitempty"`
+	SampleMicroWarmupInstructions uint64 `json:"sample_micro_warmup_instructions,omitempty"`
+	SampleWarmWindowInstructions  uint64 `json:"sample_warm_window_instructions,omitempty"`
+	// SampleEcho records whether an exact run published reference
+	// sampling rows; like Attrib it changes the report's content (the
+	// `sampling` section), so cached reports must not cross it.
+	SampleEcho bool `json:"sample_echo,omitempty"`
 }
 
 // NewSpec normalizes harness options into a Spec, resolving the
@@ -53,6 +69,15 @@ func NewSpec(experiment string, o experiments.Options) Spec {
 	if s.MeasureInstructions == 0 {
 		s.MeasureInstructions = sim.DefaultMeasure
 	}
+	if o.Sample != nil {
+		p := o.Sample.Normalized(s.MeasureInstructions)
+		s.SampleIntervals = p.Intervals
+		s.SampleIntervalInstructions = p.IntervalInsts
+		s.SampleMicroWarmupInstructions = p.MicroWarmup
+		s.SampleWarmWindowInstructions = p.WarmWindow
+	} else {
+		s.SampleEcho = o.SampleEcho
+	}
 	names := o.Benchmarks
 	if len(names) == 0 {
 		names = workload.SuiteNames()
@@ -68,8 +93,9 @@ func NewSpec(experiment string, o experiments.Options) Spec {
 }
 
 // SpecOfReport recovers the spec from a report envelope's metadata.
-// Schema v4 envelopes carry everything (the interval window included);
-// older envelopes normalize with interval collection off. The
+// Schema v5 envelopes carry everything (the interval window and the
+// sample plan included); older envelopes normalize with those features
+// off. The
 // recovered spec hashes identically to the NewSpec the producer would
 // have built, so `skiaboard put` imports join the same trajectory as
 // live skiaserve archives.
@@ -81,6 +107,17 @@ func SpecOfReport(rep *experiments.Report) Spec {
 		Benchmarks:           rep.Meta.Benchmarks,
 		IntervalInstructions: rep.Meta.IntervalInstructions,
 		Attrib:               len(rep.Attribution) > 0,
+
+		SampleIntervals:               rep.Meta.SampleIntervals,
+		SampleIntervalInstructions:    rep.Meta.SampleIntervalInstructions,
+		SampleMicroWarmupInstructions: rep.Meta.SampleMicroWarmupInstructions,
+		SampleWarmWindowInstructions:  rep.Meta.SampleWarmWindowInstructions,
+	}
+	for _, row := range rep.Sampling {
+		if row.Summary.Exact {
+			s.SampleEcho = true
+			break
+		}
 	}
 	if s.WarmupInstructions == 0 {
 		s.WarmupInstructions = sim.DefaultWarmup

@@ -342,3 +342,114 @@ func TestBenchHistory(t *testing.T) {
 		t.Errorf("bench payload lost: %+v", pts[0].Envelope)
 	}
 }
+
+// TestSpecSamplingNormalization pins the sampling half of the spec-
+// hash contract: knobs that provably do not change results (shard
+// count, warmup checkpointing) hash identically to their absence,
+// equivalent plan spellings normalize to one hash, and the result-
+// changing plan parameters — interval count, interval length, micro-
+// warmup — each fork the trajectory. Exact and sampled runs of the
+// same windows never share a hash, so the result cache cannot serve
+// one for the other.
+func TestSpecSamplingNormalization(t *testing.T) {
+	exact := NewSpec("fig14", experiments.Options{})
+
+	// Defaults spelled out vs left zero hash identically.
+	implicit := NewSpec("fig14", experiments.Options{Sample: &sim.SamplePlan{}})
+	spelled := NewSpec("fig14", experiments.Options{Sample: &sim.SamplePlan{
+		Intervals:     sim.DefaultSampleIntervals,
+		IntervalInsts: sim.DefaultMeasure / sim.DefaultSampleIntervals / 10,
+		MicroWarmup:   sim.DefaultMeasure / sim.DefaultSampleIntervals / 20,
+	}})
+	if implicit.Hash() != spelled.Hash() {
+		t.Error("default sample plan spelled out hashes differently from defaults left implicit")
+	}
+
+	// Sampled never collides with exact.
+	if implicit.Hash() == exact.Hash() {
+		t.Error("sampled and exact runs share a spec hash")
+	}
+
+	// Shards and checkpointing are result-invariant: same hash.
+	sharded := NewSpec("fig14", experiments.Options{
+		Sample: &sim.SamplePlan{Shards: 16}, Checkpoint: true, Workers: 3,
+	})
+	if sharded.Hash() != implicit.Hash() {
+		t.Error("shards/checkpoint/workers leaked into the spec hash")
+	}
+
+	// Each result-changing plan parameter forks the hash.
+	for name, p := range map[string]sim.SamplePlan{
+		"intervals":    {Intervals: 7},
+		"interval":     {IntervalInsts: 12_345},
+		"micro-warmup": {MicroWarmup: 23_456},
+	} {
+		forked := NewSpec("fig14", experiments.Options{Sample: &sim.SamplePlan{
+			Intervals:     p.Intervals,
+			IntervalInsts: p.IntervalInsts,
+			MicroWarmup:   p.MicroWarmup,
+		}})
+		if forked.Hash() == implicit.Hash() {
+			t.Errorf("%s change did not change the spec hash", name)
+		}
+	}
+
+	// SampleEcho changes the report's content, so it keys like Attrib —
+	// but only on exact runs (sampled runs always carry the section).
+	echo := NewSpec("fig14", experiments.Options{SampleEcho: true})
+	if echo.Hash() == exact.Hash() {
+		t.Error("sample-echo did not change the exact-run spec hash")
+	}
+	echoSampled := NewSpec("fig14", experiments.Options{SampleEcho: true, Sample: &sim.SamplePlan{}})
+	if echoSampled.Hash() != implicit.Hash() {
+		t.Error("sample-echo leaked into a sampled run's spec hash")
+	}
+}
+
+// TestSpecOfReportRecoversSampling checks a sampled report's envelope
+// hashes back to the producing spec, and an echoing exact report
+// recovers its SampleEcho bit from the Exact sampling row.
+func TestSpecOfReportRecoversSampling(t *testing.T) {
+	o := experiments.Options{
+		Warmup: 100_000, Measure: 300_000,
+		Benchmarks: []string{"voter", "kafka"},
+		Sample:     &sim.SamplePlan{Intervals: 4, Shards: 8},
+	}
+	rep, _ := fakeReport(t, "fig14", 1.2)
+	for i := range rep.Meta.Benchmarks {
+		p, err := workload.ByName(rep.Meta.Benchmarks[i].Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Meta.Benchmarks[i].Seed = p.Seed
+	}
+	pl := o.Sample.Normalized(o.Measure)
+	rep.Meta.SampleIntervals = pl.Intervals
+	rep.Meta.SampleIntervalInstructions = pl.IntervalInsts
+	rep.Meta.SampleMicroWarmupInstructions = pl.MicroWarmup
+	rep.Meta.SampleShards = pl.Shards
+	if got, want := SpecOfReport(rep).Hash(), NewSpec("fig14", o).Hash(); got != want {
+		t.Errorf("sampled SpecOfReport hash %s != NewSpec hash %s", got, want)
+	}
+
+	echoRep, _ := fakeReport(t, "fig14", 1.2)
+	for i := range echoRep.Meta.Benchmarks {
+		p, err := workload.ByName(echoRep.Meta.Benchmarks[i].Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		echoRep.Meta.Benchmarks[i].Seed = p.Seed
+	}
+	echoRep.Sampling = []sim.SpecSampling{{
+		Benchmark: "voter",
+		Summary:   sim.SampleSummary{Exact: true},
+	}}
+	oEcho := experiments.Options{
+		Warmup: 100_000, Measure: 300_000,
+		Benchmarks: []string{"voter", "kafka"},
+		SampleEcho: true,
+	}
+	if got, want := SpecOfReport(echoRep).Hash(), NewSpec("fig14", oEcho).Hash(); got != want {
+		t.Errorf("echo SpecOfReport hash %s != NewSpec hash %s", got, want)
+	}
+}

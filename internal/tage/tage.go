@@ -254,6 +254,48 @@ func New(cfg Config) *Predictor {
 	return p
 }
 
+// clone returns an independent deep copy of one history state.
+func (h *histState) clone() histState {
+	c := histState{phist: h.phist}
+	if h.ghist != nil {
+		c.ghist = &history{
+			bits: make([]uint64, len(h.ghist.bits)),
+			ptr:  h.ghist.ptr,
+			mask: h.ghist.mask,
+		}
+		copy(c.ghist.bits, h.ghist.bits)
+	}
+	if h.folds != nil {
+		c.folds = make([][3]folded, len(h.folds))
+		copy(c.folds, h.folds)
+	}
+	return c
+}
+
+// Clone returns an independent deep copy of the predictor: same table
+// contents, both history states, loop and bias state, and statistics.
+func (p *Predictor) Clone() *Predictor {
+	n := &Predictor{
+		cfg:    p.cfg,
+		base:   make([]int8, len(p.base)),
+		tables: make([]table, len(p.tables)),
+		spec:   p.spec.clone(),
+		arch:   p.arch.clone(),
+		loop:   make([]loopEntry, len(p.loop)),
+		sc:     make([]int8, len(p.sc)),
+		useAlt: p.useAlt,
+		stats:  p.stats,
+	}
+	copy(n.base, p.base)
+	copy(n.loop, p.loop)
+	copy(n.sc, p.sc)
+	for i, t := range p.tables {
+		n.tables[i] = table{entries: make([]taggedEntry, len(t.entries)), histLen: t.histLen}
+		copy(n.tables[i].entries, t.entries)
+	}
+	return n
+}
+
 func (p *Predictor) index(i int, pc uint64) uint32 {
 	mask := uint32(1<<p.cfg.LogTagged) - 1
 	h := uint32(pc) ^ uint32(pc>>uint(p.cfg.LogTagged)) ^ uint32(p.spec.folds[i][0].comp) ^
