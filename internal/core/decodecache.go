@@ -61,15 +61,27 @@ type DecodeCache struct {
 	differential bool
 	stats        DecodeCacheStats
 
+	// order records line addresses in insertion order so capacity
+	// evictions pick the oldest line deterministically. Map iteration
+	// would be cheaper but differs between a core and its clone, and a
+	// diverging victim choice shifts the hit/miss/eviction counters the
+	// checkpointing contract pins. Invalidated lines leave stale
+	// addresses behind; evictOne skips them lazily and compactOrder
+	// bounds the backlog.
+	order []uint64
+
 	// diffScratch is reused by the differential re-decode so the
 	// checking path does not distort the allocation profile it guards.
+	//skia:shared-ok transient scratch: fully overwritten before every use, never read across calls
 	diffScratch []ShadowBranch
 
 	// freeLines and freeBranches recycle dropped lines' storage:
 	// steady-state simulation continuously invalidates (L1-I evictions)
 	// and re-records hot lines, and without reuse that churn allocates
 	// on the critical path the cache exists to speed up.
-	freeLines    []*lineDecodes
+	//skia:shared-ok allocation-recycling free list: a clone starting empty allocates on its first invalidations, decode results are identical
+	freeLines []*lineDecodes
+	//skia:shared-ok allocation-recycling free list: a clone starting empty allocates on its first invalidations, decode results are identical
 	freeBranches [][]ShadowBranch
 }
 
@@ -104,6 +116,7 @@ func (c *DecodeCache) Clone() *DecodeCache {
 		maxLines:     c.maxLines,
 		differential: c.differential,
 		stats:        c.stats,
+		order:        append([]uint64(nil), c.order...),
 	}
 	for addr, ld := range c.lines {
 		nl := &lineDecodes{entries: make([]cachedDecode, len(ld.entries))}
@@ -156,6 +169,10 @@ func (c *DecodeCache) record(lineAddr uint64, off int, kind regionKind, branches
 			ld = &lineDecodes{}
 		}
 		c.lines[lineAddr] = ld
+		c.order = append(c.order, lineAddr)
+		if len(c.order) >= 2*c.maxLines {
+			c.compactOrder()
+		}
 	}
 	e := cachedDecode{
 		off:       int32(off),
@@ -190,18 +207,43 @@ func (c *DecodeCache) release(ld *lineDecodes) {
 	c.freeLines = append(c.freeLines, ld)
 }
 
-// evictOne drops an arbitrary line to respect the capacity bound. The
-// choice is deliberately allowed to be arbitrary (map iteration order):
-// hit and miss produce identical simulation results, so victim choice
-// affects only throughput, never output.
+// evictOne drops the oldest cached line (FIFO by first insertion) to
+// respect the capacity bound. The victim choice must be deterministic:
+// an earlier version ranged over the map, and because iteration order
+// is per-map-instance, a clone and its original under eviction pressure
+// picked different victims and their hit/miss/eviction counters drifted
+// apart — caught by the tiny-dcache clone tests.
 func (c *DecodeCache) evictOne() {
-	//skia:detmap-ok arbitrary victim by design: hit and miss are result-identical, so order reaches throughput only
-	for addr, ld := range c.lines {
-		delete(c.lines, addr)
-		c.release(ld)
-		c.stats.Evictions++
-		return
+	for len(c.order) > 0 {
+		addr := c.order[0]
+		c.order = c.order[1:]
+		if ld, ok := c.lines[addr]; ok {
+			delete(c.lines, addr)
+			c.release(ld)
+			c.stats.Evictions++
+			return
+		}
+		// Stale entry: the line was invalidated (or is a duplicate of a
+		// re-recorded address whose first copy was already consumed).
 	}
+}
+
+// compactOrder drops stale order entries — addresses invalidated since
+// insertion, and duplicate entries left by invalidate-then-re-record
+// cycles (only the oldest copy of a live address is kept, preserving
+// FIFO age). Called when the backlog reaches twice the line bound, so
+// the queue stays O(maxLines) and the amortized cost per record is
+// constant.
+func (c *DecodeCache) compactOrder() {
+	kept := c.order[:0]
+	seen := make(map[uint64]bool, len(c.lines))
+	for _, addr := range c.order {
+		if _, live := c.lines[addr]; live && !seen[addr] {
+			seen[addr] = true
+			kept = append(kept, addr)
+		}
+	}
+	c.order = kept
 }
 
 // InvalidateLine drops every memoized decode of one line. The front end

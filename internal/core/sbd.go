@@ -145,6 +145,7 @@ type SBD struct {
 	// immutable after linking, so cached entries can only go stale
 	// through capacity pressure, never through content change —
 	// invalidation exists to bound memory, not for correctness.
+	//skia:shared-ok Clone's contract: the owner clones the cache separately and re-attaches it (frontend.Clone does both)
 	cache *DecodeCache
 
 	// scratch buffers reused across calls to avoid allocation in the

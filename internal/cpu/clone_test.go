@@ -21,12 +21,18 @@ func cloneConfigs() map[string]Config {
 	toBTB.Frontend.SBDToBTB = true
 	bigBTB := SkiaConfig()
 	bigBTB.Frontend.BTB.Entries = 65536
+	tinyDC := SkiaConfig()
+	tinyDC.Frontend.DecodeCacheLines = 4
 	return map[string]Config{
 		"baseline":     DefaultConfig(),
 		"skia":         skia,
 		"skia-nocache": noCache,
 		"sbd-to-btb":   toBTB,
 		"big-btb":      bigBTB,
+		// A 4-line decode cache keeps the capacity bound under constant
+		// pressure, so clones are taken with populated free lists and
+		// every interval crosses eviction/recycling churn.
+		"tiny-dcache": tinyDC,
 	}
 }
 
@@ -137,32 +143,52 @@ func TestCloneRandomizedSnapshotPoints(t *testing.T) {
 	w := cloneWorkload(t, "voter")
 	const horizon = 400_000
 
-	ref, err := New(SkiaConfig(), w)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ref.Run(horizon)
-	want := ref.Result("w")
+	// The tiny-dcache shape is the regression case for the decode-cache
+	// free list: with a 4-line bound every snapshot lands between
+	// evictions, so the clone starts with recycled storage in flight
+	// mid-interval and must still replay the reference bit-for-bit.
+	for _, cfgName := range []string{"skia", "tiny-dcache"} {
+		cfg := cloneConfigs()[cfgName]
+		t.Run(cfgName, func(t *testing.T) {
+			ref, err := New(cfg, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.Run(horizon)
+			want := ref.Result("w")
 
-	c, err := New(SkiaConfig(), w)
-	if err != nil {
-		t.Fatal(err)
-	}
-	seed := uint64(0x9E3779B97F4A7C15)
-	var pos uint64
-	for i := 0; i < 6; i++ {
-		seed = seed*6364136223846793005 + 1442695040888963407
-		step := 10_000 + seed%90_000
-		if pos+step > horizon {
-			break
-		}
-		c.Run(step)
-		pos = c.Retired()
-		cl := c.Clone()
-		cl.Run(horizon - pos)
-		if got := cl.Result("w"); !reflect.DeepEqual(want, got) {
-			t.Errorf("clone at %d instructions diverged from the uninterrupted run:\n  want %+v\n  got  %+v", pos, want, got)
-		}
+			c, err := New(cfg, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seed := uint64(0x9E3779B97F4A7C15)
+			var pos uint64
+			for i := 0; i < 6; i++ {
+				seed = seed*6364136223846793005 + 1442695040888963407
+				step := 10_000 + seed%90_000
+				if pos+step > horizon {
+					break
+				}
+				c.Run(step)
+				pos = c.Retired()
+				cl := c.Clone()
+				cl.Run(horizon - pos)
+				if got := cl.Result("w"); !reflect.DeepEqual(want, got) {
+					t.Errorf("clone at %d instructions diverged from the uninterrupted run:\n  want %+v\n  got  %+v", pos, want, got)
+				}
+				if dc := cl.Frontend().DecodeCache(); dc != nil && dc.Stats() != ref.Frontend().DecodeCache().Stats() {
+					t.Errorf("clone at %d instructions: decode cache counters diverged: %+v vs %+v",
+						pos, dc.Stats(), ref.Frontend().DecodeCache().Stats())
+				}
+			}
+			if cfgName == "tiny-dcache" {
+				// The case is only a regression test if eviction pressure
+				// actually materialized.
+				if ev := ref.Frontend().DecodeCache().Stats().Evictions; ev == 0 {
+					t.Fatal("tiny-dcache run saw no evictions; the free-list case is not being exercised")
+				}
+			}
+		})
 	}
 }
 

@@ -95,6 +95,7 @@ type Core struct {
 	// coll, when non-nil, receives interval samples as retirement
 	// crosses each boundary; the run loop nil-checks it once per cycle,
 	// so a detached collector costs one comparison.
+	//skia:shared-ok observability attachment: Clone's contract is that clones start uncollected and callers attach their own
 	coll *metrics.Collector
 }
 

@@ -139,8 +139,10 @@ type FrontEnd struct {
 	hasPending bool
 	done       bool
 	err        error
-	scratch    []core.ShadowBranch
-	sbdTasks   []sbdTask
+	// scratch is a per-call decode buffer, dead between Cycle calls.
+	//skia:shared-ok transient scratch: fully overwritten before every use, never holds state across cycles
+	scratch  []core.ShadowBranch
+	sbdTasks []sbdTask
 	// extraOffs registers SBB-inserted PCs that are not static branch
 	// starts as probe candidates: one bit per byte offset in the line
 	// (LineSize = 64). Bits are cleared through the SBB's OnRemove hook
@@ -150,6 +152,7 @@ type FrontEnd struct {
 	// of distinct shadow-decoded PCs, which the program size bounds.)
 	extraOffs map[uint64]uint64
 	// condPool recycles Conds backing arrays across dead blocks.
+	//skia:shared-ok allocation-recycling pool: a clone starting empty re-allocates on first use, results are unaffected
 	condPool [][]CondRec
 	// dcache memoizes shadow decodes (nil when disabled); invalidated by
 	// the L1-I eviction hook.
@@ -160,16 +163,19 @@ type FrontEnd struct {
 	// hit vs. miss is result-identical (only SBD/dcache statistics
 	// differ, which warm skipping perturbs freely anyway). Lazily
 	// built; not carried across Clone.
+	//skia:shared-ok pure-function memo over immutable program bytes: a clone rebuilding it lazily is result-identical
 	warmMemo map[warmDecodeKey][]core.ShadowBranch
 
 	// tr, when non-nil, observes re-steers, misses, and shadow-decode
 	// events; every emission site nil-checks it so a disabled trace
 	// costs one comparison per event.
+	//skia:shared-ok observability attachment: Clone's contract is that clones start untraced and callers attach their own
 	tr metrics.Tracer
 
 	// at, when non-nil, is the miss-attribution engine: it classifies
 	// every BTB miss into a cause and every decoder-idle cycle into a
 	// stall account. Same nil-check contract as tr.
+	//skia:shared-ok observability attachment: Clone's contract is that clones start unattributed and callers attach their own
 	at *attrib.Engine
 
 	stats Stats
@@ -210,7 +216,7 @@ func New(cfg Config, w *workload.Workload) (*FrontEnd, error) {
 	if cfg.Skia {
 		f.sbd = core.NewSBD(cfg.SBD)
 		if !cfg.NoDecodeCache {
-			f.dcache = core.NewDecodeCache(0, cfg.DecodeCacheDiff)
+			f.dcache = core.NewDecodeCache(cfg.DecodeCacheLines, cfg.DecodeCacheDiff)
 			f.sbd.AttachCache(f.dcache)
 			f.l1i.OnEvict = f.dcache.InvalidateLine
 		}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMixAnalyzer enforces atomics consistency: a variable or struct
+// field accessed through the function-style sync/atomic API anywhere in
+// the module (atomic.AddUint64(&s.n, 1)) must never be read or written
+// with a plain load/store elsewhere. Mixed access is a data race the
+// race detector only catches when a test happens to interleave it —
+// and the progress counters this guards feed live observability, where
+// a torn read silently misreports without failing anything.
+//
+// Typed atomics (atomic.Uint64 and friends) are safe by construction —
+// the type system already forbids plain access — so they need no
+// checking; this analyzer exists for the address-taking API, where the
+// compiler accepts both access styles. The repo's own counters use the
+// typed forms; the analyzer keeps the next contributor's
+// function-style shortcut honest.
+//
+// A deliberate plain access (an init before the value is published, a
+// read under a lock that also orders the writers) can be annotated
+// `//skia:atomicmix-ok <justification>` on its line.
+var AtomicMixAnalyzer = &Analyzer{
+	Name:       "atomicmix",
+	Doc:        "forbids mixing sync/atomic access with plain loads/stores on the same variable",
+	Directive:  "//skia:atomicmix-ok",
+	RunProgram: runAtomicMix,
+}
+
+func runAtomicMix(pass *ProgramPass) error {
+	// Pass 1: every object whose address feeds a sync/atomic call, and
+	// the source ranges of those calls (accesses inside them are the
+	// sanctioned ones).
+	atomicObjs := make(map[types.Object]token.Position)
+	type span struct{ lo, hi token.Pos }
+	var sanctioned []span
+	for _, pkg := range pass.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg.Info, call) {
+					return true
+				}
+				sanctioned = append(sanctioned, span{call.Pos(), call.End()})
+				for _, arg := range call.Args {
+					u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || u.Op != token.AND {
+						continue
+					}
+					if obj := addressedObject(pkg.Info, u.X); obj != nil {
+						if _, seen := atomicObjs[obj]; !seen {
+							atomicObjs[obj] = pass.Prog.Fset.Position(call.Pos())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+	inSanctioned := func(pos token.Pos) bool {
+		for _, s := range sanctioned {
+			if s.lo <= pos && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: every other use of those objects is a plain access.
+	for _, pkg := range pass.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				var obj types.Object
+				switch node := n.(type) {
+				case *ast.SelectorExpr:
+					if sel := pkg.Info.Selections[node]; sel != nil {
+						obj = sel.Obj()
+					}
+				case *ast.Ident:
+					obj = pkg.Info.Uses[node]
+				default:
+					return true
+				}
+				first, tracked := atomicObjs[obj]
+				if !tracked || inSanctioned(n.Pos()) {
+					return true
+				}
+				if lineDirective(pkg, file, n.Pos(), "//skia:atomicmix-ok") {
+					return true
+				}
+				pass.Reportf(n.Pos(), "plain access to %s, which is accessed atomically at %s: use sync/atomic everywhere (or a typed atomic), or annotate //skia:atomicmix-ok with a justification", obj.Name(), first)
+				return false // don't re-report the selector's ident
+			})
+		}
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package
+// function (the address-taking API, not typed-atomic methods).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// addressedObject resolves &expr's operand to the variable or field
+// object whose accesses must then all be atomic.
+func addressedObject(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		if sel := info.Selections[e]; sel != nil {
+			return sel.Obj()
+		}
+	case *ast.IndexExpr:
+		return addressedObject(info, e.X)
+	}
+	return nil
+}

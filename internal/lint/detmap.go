@@ -28,9 +28,10 @@ import (
 // order provably cannot reach simulation output (e.g. the decode
 // cache's arbitrary-victim eviction, which affects throughput only).
 var DetMapAnalyzer = &Analyzer{
-	Name: "detmap",
-	Doc:  "flags map-order-dependent iteration that can leak nondeterminism into simulation output",
-	Run:  runDetMap,
+	Name:      "detmap",
+	Doc:       "flags map-order-dependent iteration that can leak nondeterminism into simulation output",
+	Directive: "//skia:detmap-ok",
+	Run:       runDetMap,
 }
 
 func runDetMap(pass *Pass) error {

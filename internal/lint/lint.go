@@ -34,6 +34,36 @@
 //	    On the line before a wall-clock or RNG use in a simulation
 //	    package: the value feeds throughput observability, never
 //	    simulated state. A justification is required.
+//
+//	//skia:statlock-ok <justification>
+//	    On a go statement handing a //skia:serial value to a
+//	    goroutine: access is provably exclusive (e.g. joined before
+//	    the next touch). A justification is required.
+//
+//	//skia:shared-ok <justification>
+//	    On a struct field declaration: the field is deliberately not
+//	    copied by the type's Clone method — an immutable alias,
+//	    recycling scratch, or a non-carrying observability
+//	    attachment. A justification is required.
+//
+//	//skia:ctxwait-ok <justification>
+//	    On a go statement or channel send in serve/sim: the goroutine
+//	    or send provably cannot outlive its receiver. A justification
+//	    is required.
+//
+//	//skia:atomicmix-ok <justification>
+//	    On a plain access to a variable elsewhere accessed via
+//	    sync/atomic: the access is ordered by other means (pre-
+//	    publication init, lock covering all writers). A justification
+//	    is required.
+//
+//	//skia:hookpure-ok <justification>
+//	    On an unguarded On* hook call or a captured-state write inside
+//	    a hook body: the hook is proven non-nil or the target never
+//	    feeds results. A justification is required.
+//
+// The directive analyzer enforces this grammar itself: unknown names
+// and missing justifications are findings.
 package lint
 
 import (
@@ -52,6 +82,11 @@ import (
 type Analyzer struct {
 	Name string
 	Doc  string
+
+	// Directive is the //skia: suppression directive this analyzer
+	// honors ("" when it has none). Surfaced in -json output so CI
+	// artifacts say how each finding can be waived.
+	Directive string
 
 	// Exclude, when non-nil, reports import paths the analyzer does
 	// not apply to (allowlisted packages). Fixture packages never
@@ -108,7 +143,11 @@ func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzers returns the full suite in reporting order.
+// Analyzers returns the full suite in reporting order. The second
+// generation (clonecomplete, ctxwait, atomicmix, hookpure, directive)
+// statically enforces the invariants the sampling/service era
+// introduced dynamically: checkpoint clone completeness, goroutine
+// cancellation discipline, atomics consistency, and hook purity.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DetMapAnalyzer,
@@ -116,6 +155,11 @@ func Analyzers() []*Analyzer {
 		NoAllocAnalyzer,
 		ConserveAnalyzer,
 		StatLockAnalyzer,
+		CloneCompleteAnalyzer,
+		CtxWaitAnalyzer,
+		AtomicMixAnalyzer,
+		HookPureAnalyzer,
+		DirectiveAnalyzer,
 	}
 }
 

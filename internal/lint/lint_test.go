@@ -10,7 +10,10 @@ import (
 
 // wantRe matches the fixture expectation syntax, analysistest-style:
 // a `// want `+"`regex`"+`` comment on the line a diagnostic lands on.
-var wantRe = regexp.MustCompile("// want `([^`]+)`")
+// The block form `/* want `+"`regex`"+` */` exists for lines where a
+// //skia: line directive already owns the rest of the line (the
+// directive analyzer's own fixtures).
+var wantRe = regexp.MustCompile("(?://|/\\*) want `([^`]+)`")
 
 // runFixture analyzes one fixture package under testdata/src and
 // checks its diagnostics against the `// want` comments: every

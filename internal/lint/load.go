@@ -40,6 +40,11 @@ type Program struct {
 
 	stdImporter types.Importer
 	loading     map[string]bool
+
+	// decls and facts back the call-graph and fact-store facilities in
+	// callgraph.go; both are built lazily from the loaded packages.
+	decls map[*types.Func]DeclSite
+	facts *FactStore
 }
 
 // ByPath returns the loaded package with the given import path.

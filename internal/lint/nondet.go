@@ -22,10 +22,11 @@ import (
 // read that feeds only run timing can be annotated with
 // `//skia:nondet-ok <justification>` on the line above.
 var NonDetAnalyzer = &Analyzer{
-	Name:    "nondet",
-	Doc:     "forbids wall-clock and global-RNG use in simulation packages",
-	Exclude: nonDetExcluded,
-	Run:     runNonDet,
+	Name:      "nondet",
+	Doc:       "forbids wall-clock and global-RNG use in simulation packages",
+	Directive: "//skia:nondet-ok",
+	Exclude:   nonDetExcluded,
+	Run:       runNonDet,
 }
 
 func nonDetExcluded(path string) bool {

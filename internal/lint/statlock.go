@@ -21,9 +21,10 @@ import (
 // exclusively) can be annotated `//skia:statlock-ok <justification>`
 // on the line above the go statement.
 var StatLockAnalyzer = &Analyzer{
-	Name: "statlock",
-	Doc:  "forbids handing //skia:serial (single-goroutine) values to goroutines without a lock",
-	Run:  runStatLock,
+	Name:      "statlock",
+	Doc:       "forbids handing //skia:serial (single-goroutine) values to goroutines without a lock",
+	Directive: "//skia:statlock-ok",
+	Run:       runStatLock,
 }
 
 func runStatLock(pass *Pass) error {

@@ -1,0 +1,40 @@
+// Package bad holds atomicmix failing cases: the same location touched
+// both through sync/atomic and with plain loads/stores.
+package bad
+
+import "sync/atomic"
+
+// Progress mixes access styles on done: the hot path increments it
+// atomically, the report path reads it bare — a torn read on 32-bit
+// platforms and a data race everywhere.
+type Progress struct {
+	done    uint64
+	planned uint64
+}
+
+func (p *Progress) Tick() {
+	atomic.AddUint64(&p.done, 1)
+}
+
+func (p *Progress) Fraction() float64 {
+	if p.planned == 0 {
+		return 0
+	}
+	return float64(p.done) / float64(p.planned) // want `plain access to done`
+}
+
+func (p *Progress) Reset() {
+	p.done = 0 // want `plain access to done`
+	p.planned = 0
+}
+
+// counter shows package-level variables are held to the same bar.
+var counter uint64
+
+func bump() {
+	atomic.AddUint64(&counter, 1)
+}
+
+func read() uint64 {
+	return counter // want `plain access to counter`
+}

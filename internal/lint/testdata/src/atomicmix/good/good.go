@@ -1,0 +1,47 @@
+// Package good holds atomicmix passing cases: consistent atomic
+// access, typed atomics, and a justified pre-publication exception.
+package good
+
+import "sync/atomic"
+
+// Progress accesses done through sync/atomic everywhere.
+type Progress struct {
+	done    uint64
+	planned uint64
+}
+
+func (p *Progress) Tick() {
+	atomic.AddUint64(&p.done, 1)
+}
+
+func (p *Progress) Done() uint64 {
+	return atomic.LoadUint64(&p.done)
+}
+
+func (p *Progress) Reset() {
+	atomic.StoreUint64(&p.done, 0)
+	p.planned = 0 // planned is never touched atomically: not tracked
+}
+
+// Typed is safe by construction — the type system forbids plain
+// access, so the analyzer has nothing to track.
+type Typed struct {
+	done atomic.Uint64
+}
+
+func (t *Typed) Tick() {
+	t.done.Add(1)
+}
+
+func (t *Typed) Done() uint64 {
+	return t.done.Load()
+}
+
+// NewProgress shows the justified exception: initialization before the
+// value is published needs no atomicity.
+func NewProgress(planned uint64) *Progress {
+	p := &Progress{planned: planned}
+	//skia:atomicmix-ok pre-publication init: no other goroutine can hold p yet
+	p.done = 0
+	return p
+}

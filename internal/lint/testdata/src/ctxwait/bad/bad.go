@@ -1,0 +1,45 @@
+// Package bad holds ctxwait failing cases: goroutines that outlive
+// their context and sends that can block forever.
+package bad
+
+import "context"
+
+// leakyWorker never looks at ctx (or any stop channel): once the job
+// is cancelled this goroutine is leaked until process exit.
+func leakyWorker(ctx context.Context, jobs []int) {
+	done := 0
+	go func() { // want `goroutine does not observe cancellation`
+		for range jobs {
+			done++
+		}
+	}()
+	_ = done
+	_ = ctx
+}
+
+// spin is a helper with no cancellation evidence of its own, so
+// spawning it is flagged at the go statement.
+func spin(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+func spawnSpin() {
+	go spin(1000) // want `goroutine does not observe cancellation`
+}
+
+// bareSend deadlocks the pool when the consumer has already exited.
+func bareSend(queue chan int, v int) {
+	queue <- v // want `bare channel send can block forever`
+}
+
+// sendOnlySelect is a bare send wearing a select: no default and no
+// receive case means nothing unblocks it after cancellation.
+func sendOnlySelect(queue chan int, v int) {
+	select {
+	case queue <- v: // want `select send has no default or receive case`
+	}
+}

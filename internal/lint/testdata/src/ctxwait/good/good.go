@@ -1,0 +1,93 @@
+// Package good holds ctxwait passing cases: every goroutine observes
+// cancellation and every send is cancellable.
+package good
+
+import "context"
+
+// selectWorker observes ctx.Done directly.
+func selectWorker(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// stopWorker uses the stop-channel idiom: receiving from a struct{}
+// channel is cancellation evidence too.
+func stopWorker(stop chan struct{}, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// checked polls ctx.Err at loop boundaries, the chunked-run idiom.
+func checked(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += i
+	}
+	return total
+}
+
+// spawnChecked delegates: the spawned callee observes cancellation, so
+// the go statement is proven through the call graph.
+func spawnChecked(ctx context.Context) {
+	go checked(ctx, 1000)
+}
+
+// spawnLiteralDelegate delegates from inside a literal body.
+func spawnLiteralDelegate(ctx context.Context) {
+	results := make(chan int, 1)
+	go func() {
+		select {
+		case results <- checked(ctx, 1000):
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// cancellableSend is the bounded-queue discipline: the ctx.Done case
+// unblocks the send after cancellation.
+func cancellableSend(ctx context.Context, queue chan int, v int) bool {
+	select {
+	case queue <- v:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// droppingSend never blocks: the default case sheds load instead.
+func droppingSend(queue chan int, v int) bool {
+	select {
+	case queue <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// annotatedSend shows the suppression path: the receiver provably
+// outlives the sender (it is joined in this same function).
+func annotatedSend(v int) int {
+	reply := make(chan int, 1)
+	//skia:ctxwait-ok reply is buffered with capacity 1 and this function holds the only send
+	reply <- v
+	return <-reply
+}

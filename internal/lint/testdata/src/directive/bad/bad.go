@@ -1,0 +1,25 @@
+// Package bad holds directive failing cases: misspelled names that
+// silently suppress nothing, and suppressions with no justification.
+package bad
+
+// Sim demonstrates the misspelling trap: the author believes the field
+// is waived, but //skia:sharedok is not a directive.
+type Sim struct {
+	cycles uint64
+	/* want `unknown directive //skia:sharedok` */ //skia:sharedok
+	memo map[int]int
+}
+
+func tally(m map[string]int) int {
+	total := 0
+	/* want `directive //skia:detmap-ok requires a justification` */ //skia:detmap-ok
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+/* want `unknown directive //skia:no-alloc` */ //skia:no-alloc
+func hot(n int) int {
+	return n * 2
+}

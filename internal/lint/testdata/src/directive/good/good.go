@@ -1,0 +1,29 @@
+// Package good holds directive passing cases: every directive is
+// spelled correctly, and every suppression says why.
+package good
+
+// Sim shows the marker directives (no argument) and a justified
+// field suppression.
+type Sim struct {
+	cycles uint64
+	//skia:shared-ok pure-function memo, lazily rebuilt by the clone
+	memo map[int]int
+}
+
+//skia:noalloc
+func hot(n int) int {
+	return n * 2
+}
+
+func tally(m map[string]int) int {
+	total := 0
+	//skia:detmap-ok commutative += accumulation; no ordered output
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// prose mentioning a directive like //skia:detmap-ok in a sentence
+// (note the leading space) is documentation, not a directive.
+var _ = hot(1)

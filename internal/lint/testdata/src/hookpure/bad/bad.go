@@ -1,0 +1,40 @@
+// Package bad holds hookpure failing cases: unguarded hook calls and
+// hook bodies that write captured state.
+package bad
+
+// Sim carries optional observability hooks.
+type Sim struct {
+	cycles   uint64
+	inserts  uint64
+	OnEvict  func(line uint64)
+	OnInsert func(pc uint64)
+}
+
+// evict fires the hook without a nil check: every caller that never
+// attached an observer panics.
+func (s *Sim) evict(line uint64) {
+	s.OnEvict(line) // want `call to hook s.OnEvict without a nil check`
+}
+
+// insertGuardedWrongField checks one hook but fires the other.
+func (s *Sim) insertGuardedWrongField(pc uint64) {
+	if s.OnEvict != nil {
+		s.OnInsert(pc) // want `call to hook s.OnInsert without a nil check`
+	}
+}
+
+// otherInstance shows the guard must cover the same receiver chain:
+// a.OnEvict being non-nil says nothing about b.
+func otherInstance(a, b *Sim) {
+	if a.OnEvict != nil {
+		b.OnEvict(0) // want `call to hook b.OnEvict without a nil check`
+	}
+}
+
+// attach registers a hook that mutates captured simulator state: now
+// results depend on whether the observer is attached.
+func attach(s *Sim) {
+	s.OnInsert = func(pc uint64) {
+		s.inserts++ // want `hook OnInsert mutates captured s`
+	}
+}

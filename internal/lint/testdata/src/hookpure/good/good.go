@@ -1,0 +1,62 @@
+// Package good holds hookpure passing cases: guarded invocations and
+// pure observer bodies.
+package good
+
+// Sim carries optional observability hooks.
+type Sim struct {
+	cycles   uint64
+	evicts   uint64
+	OnEvict  func(line uint64)
+	OnInsert func(pc uint64)
+	trace    func(ev string)
+}
+
+// evict uses the enclosing-if guard, the standard emission idiom.
+func (s *Sim) evict(line uint64) {
+	if s.OnEvict != nil {
+		s.OnEvict(line)
+	}
+}
+
+// insert uses the early-return guard; the tail of the function runs
+// with the hook known non-nil.
+func (s *Sim) insert(pc uint64) {
+	if s.OnInsert == nil {
+		return
+	}
+	s.OnInsert(pc)
+}
+
+// both guards two hooks with one conjunction.
+func (s *Sim) both(line, pc uint64) {
+	if s.OnEvict != nil && s.OnInsert != nil {
+		s.OnEvict(line)
+		s.OnInsert(pc)
+	}
+}
+
+// observer is a pure hook body: it only reads captured state and calls
+// out; locals are fair game.
+func observer(s *Sim, log func(uint64)) {
+	s.OnEvict = func(line uint64) {
+		shifted := line << 1
+		log(shifted + s.cycles)
+	}
+}
+
+// prune is a method value, not an observer literal: component wiring
+// (the SBB OnRemove pruner idiom) is exempt from the purity rule.
+func (s *Sim) prune(pc uint64) { s.evicts = pc }
+
+func wire(s *Sim) {
+	s.OnInsert = s.prune
+}
+
+// counted carries the justified exception: the captured target feeds
+// only the observer's own output, never simulation results.
+func counted(s *Sim, sink *uint64) {
+	s.OnEvict = func(line uint64) {
+		//skia:hookpure-ok sink is the observer's private tally, read only by the observer's owner
+		*sink++
+	}
+}

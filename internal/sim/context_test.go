@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -113,6 +114,45 @@ func TestRunAllContextCancelSkipsQueued(t *testing.T) {
 	}
 	if st := r.Stats(); st.Runs != 0 {
 		t.Errorf("specs ran under a dead context: %+v", st)
+	}
+}
+
+// TestRunAllContextCancelMidFlight is the regression test for the
+// ctxwait finding fixed in this file's sibling sim.go: the worker
+// semaphore acquisition used to be a bare send, so specs queued behind
+// a full worker pool could only proceed once an in-flight spec handed
+// its slot over. Acquisition now selects on ctx.Done, so cancellation
+// mid-run must (a) return promptly and (b) deliver a context error for
+// every spec — the in-flight one aborted at a chunk boundary, the
+// queued ones either failing at acquisition or immediately after it.
+func TestRunAllContextCancelMidFlight(t *testing.T) {
+	r := NewRunner()
+	r.Workers = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	specs := []RunSpec{tinySpec(), tinySpec(), tinySpec()}
+	for i := range specs {
+		// Long enough that cancel lands while spec 0 is mid-simulation
+		// and specs 1-2 are parked on the semaphore.
+		specs[i].Warmup = 200_000_000
+		specs[i].Label = []string{"first", "second", "third"}[i]
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := r.RunAllContext(ctx, specs)
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("RunAllContext took %v after cancel; queued specs are not observing cancellation", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, label := range []string{"first", "second", "third"} {
+		if !strings.Contains(err.Error(), label) {
+			t.Errorf("spec %q missing from joined error: %v", label, err)
+		}
 	}
 }
 

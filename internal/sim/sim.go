@@ -561,7 +561,15 @@ func (r *Runner) RunAllContext(ctx context.Context, specs []RunSpec) ([]Result, 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
+			// A bare semaphore send would park every queued spec forever
+			// if the context died while the in-flight ones held all the
+			// slots; a cancelled spec must fail without waiting its turn.
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = fmt.Errorf("aborted before start: %w", ctx.Err())
+				return
+			}
 			defer func() { <-sem }()
 			results[i], errs[i] = r.runContext(ctx, specs[i], false)
 		}(i)
